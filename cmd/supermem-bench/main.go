@@ -1,0 +1,200 @@
+// Command supermem-bench regenerates the tables and figures of the
+// SuperMem paper's evaluation (MICRO 2019).
+//
+// Usage:
+//
+//	supermem-bench -exp fig13                 # Figure 13, all tx sizes
+//	supermem-bench -exp fig14                 # Figure 14 (2/4/8 programs)
+//	supermem-bench -exp fig15 -tx 4096        # one tx size only
+//	supermem-bench -exp fig16                 # write queue sweep
+//	supermem-bench -exp fig17                 # counter cache sweep
+//	supermem-bench -exp table1                # recoverability sweep
+//	supermem-bench -exp ablation              # placement & coalescing ablations
+//	supermem-bench -exp all                   # everything
+//
+// Sizing knobs: -transactions, -warmup, -footprint, -seed. Latency
+// tables print both raw cycles and the paper's normalized-to-Unsec
+// form.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"supermem"
+)
+
+func main() {
+	var (
+		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, all")
+		csv          = flag.Bool("csv", false, "print tables as CSV instead of aligned text")
+		txBytes      = flag.Int("tx", 0, "restrict fig13/fig15 to one transaction size (256, 1024, 4096); 0 = all three")
+		transactions = flag.Int("transactions", 0, "measured transactions per core (0 = default)")
+		warmup       = flag.Int("warmup", 0, "warmup transactions per core (0 = auto)")
+		footprint    = flag.Uint64("footprint", 0, "per-program footprint in bytes (0 = default 8 MiB)")
+		seed         = flag.Int64("seed", 0, "workload seed (0 = default)")
+	)
+	flag.Parse()
+
+	opts := supermem.DefaultExperimentOpts()
+	if *transactions > 0 {
+		opts.Transactions = *transactions
+	}
+	if *warmup > 0 {
+		opts.Warmup = *warmup
+	}
+	if *footprint > 0 {
+		opts.FootprintBytes = *footprint
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	cfg := supermem.DefaultConfig()
+
+	show := func(t *supermem.Table) {
+		if *csv {
+			fmt.Println(t.Title)
+			fmt.Print(t.CSV())
+			fmt.Println()
+			return
+		}
+		fmt.Println(t)
+	}
+
+	sizes := []int{256, 1024, 4096}
+	if *txBytes > 0 {
+		sizes = []int{*txBytes}
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		run("table1", func() error {
+			res, err := supermem.Table1()
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		})
+	}
+	if want("fig13") {
+		ran = true
+		for _, size := range sizes {
+			size := size
+			run(fmt.Sprintf("fig13/%dB", size), func() error {
+				tbl, err := supermem.Figure13(cfg, size, opts)
+				if err != nil {
+					return err
+				}
+				show(tbl)
+				show(tbl.Normalize("Unsec"))
+				return nil
+			})
+		}
+	}
+	if want("fig14") {
+		ran = true
+		for _, programs := range []int{2, 4, 8} {
+			programs := programs
+			run(fmt.Sprintf("fig14/%dp", programs), func() error {
+				tbl, err := supermem.Figure14(cfg, programs, opts)
+				if err != nil {
+					return err
+				}
+				show(tbl)
+				show(tbl.Normalize("Unsec"))
+				return nil
+			})
+		}
+	}
+	if want("fig15") {
+		ran = true
+		for _, size := range sizes {
+			size := size
+			run(fmt.Sprintf("fig15/%dB", size), func() error {
+				tbl, err := supermem.Figure15(cfg, size, opts)
+				if err != nil {
+					return err
+				}
+				show(tbl)
+				return nil
+			})
+		}
+	}
+	if want("fig16") {
+		ran = true
+		run("fig16", func() error {
+			reduction, latency, err := supermem.Figure16(cfg, opts)
+			if err != nil {
+				return err
+			}
+			show(reduction)
+			show(latency)
+			return nil
+		})
+	}
+	if want("fig17") {
+		ran = true
+		run("fig17", func() error {
+			hit, execTime, err := supermem.Figure17(cfg, opts)
+			if err != nil {
+				return err
+			}
+			show(hit)
+			show(execTime)
+			return nil
+		})
+	}
+	if want("ablation") {
+		ran = true
+		run("ablation/placement", func() error {
+			tbl, err := supermem.AblationPlacement(cfg, opts)
+			if err != nil {
+				return err
+			}
+			show(tbl)
+			show(tbl.Normalize("XBank+CWC"))
+			return nil
+		})
+		run("ablation/coalescing", func() error {
+			tbl, err := supermem.AblationTxSizeCoalescing(cfg, opts)
+			if err != nil {
+				return err
+			}
+			show(tbl)
+			return nil
+		})
+	}
+	if want("sca") {
+		ran = true
+		run("extension/sca", func() error {
+			tbl, err := supermem.ExtensionSCA(cfg, opts)
+			if err != nil {
+				return err
+			}
+			show(tbl)
+			show(tbl.Normalize("Unsec"))
+			return nil
+		})
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "supermem-bench: unknown experiment %q (want %s)\n",
+			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "all"}, ", "))
+		os.Exit(2)
+	}
+}

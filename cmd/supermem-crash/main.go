@@ -1,0 +1,81 @@
+// Command supermem-crash is the crash-consistency fuzzer: it runs a
+// workload on the byte-accurate encrypted machine, injects power
+// failures at every persistence step (or a sampled subset), recovers,
+// and verifies the structure's invariants against a deterministic
+// replay.
+//
+// Usage:
+//
+//	supermem-crash                           # sweep every mode x workload
+//	supermem-crash -mode WB-NoBattery -workload btree -steps 10
+//	supermem-crash -stride 5                 # sample every 5th point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"supermem"
+)
+
+var modes = map[string]supermem.CrashMode{
+	"SuperMem":      supermem.CrashSuperMem,
+	"WT-NoRegister": supermem.CrashNoRegister,
+	"WB+Battery":    supermem.CrashWBBattery,
+	"WB-NoBattery":  supermem.CrashWBNoBattery,
+	"Osiris":        supermem.CrashOsiris,
+	"Unencrypted":   supermem.CrashUnencrypted,
+}
+
+func main() {
+	var (
+		modeName = flag.String("mode", "", "machine design (default: all): SuperMem, WT-NoRegister, WB+Battery, WB-NoBattery, Osiris, Unencrypted")
+		wl       = flag.String("workload", "", "workload (default: all): array, queue, btree, hashtable, rbtree")
+		steps    = flag.Int("steps", 8, "transactions per run")
+		stride   = flag.Int("stride", 1, "test every stride-th persistence step")
+	)
+	flag.Parse()
+
+	var runModes []string
+	if *modeName != "" {
+		if _, ok := modes[*modeName]; !ok {
+			fmt.Fprintf(os.Stderr, "supermem-crash: unknown mode %q\n", *modeName)
+			os.Exit(2)
+		}
+		runModes = []string{*modeName}
+	} else {
+		runModes = []string{"SuperMem", "WT-NoRegister", "WB+Battery", "WB-NoBattery", "Osiris", "Unencrypted"}
+	}
+	workloads := supermem.Workloads()
+	if *wl != "" {
+		workloads = []string{*wl}
+	}
+
+	anyInconsistent := false
+	for _, mn := range runModes {
+		for _, w := range workloads {
+			res, err := supermem.CrashSweep(modes[mn], w, *steps, *stride)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "supermem-crash: %s/%s: %v\n", mn, w, err)
+				os.Exit(1)
+			}
+			verdict := "CONSISTENT"
+			if !res.Consistent() {
+				verdict = "INCONSISTENT"
+				anyInconsistent = true
+			}
+			fmt.Printf("%-14s %-10s %4d points %4d crashed  %s\n", mn, w, res.TotalPoints, res.Crashed, verdict)
+			for i, r := range res.Inconsistent {
+				if i >= 3 {
+					fmt.Printf("    ... and %d more\n", len(res.Inconsistent)-3)
+					break
+				}
+				fmt.Printf("    crash@%d after %d txs: %s\n", r.CrashStep, r.CompletedSteps, r.Detail)
+			}
+		}
+	}
+	// Corruption on designs without counter atomicity is the expected
+	// demonstration, not a failure of the tool.
+	_ = anyInconsistent
+}

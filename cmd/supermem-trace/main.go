@@ -1,0 +1,169 @@
+// Command supermem-trace records, inspects, and replays the memory-op
+// traces the workloads generate.
+//
+// Usage:
+//
+//	supermem-trace record -workload btree -tx 1024 -transactions 100 -o btree.trace
+//	supermem-trace info btree.trace
+//	supermem-trace dump btree.trace | head        # text form
+//	supermem-trace replay -scheme SuperMem btree.trace
+//
+// Traces are scheme-independent (they capture the program's memory
+// behaviour); replay chooses the secure-NVM design to time them under.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"supermem/internal/bench"
+	"supermem/internal/config"
+	"supermem/internal/core"
+	"supermem/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "dump":
+		dump(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: supermem-trace {record|info|dump|replay} [flags] [file]")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "supermem-trace:", err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wl := fs.String("workload", "array", "workload name")
+	tx := fs.Int("tx", 1024, "transaction request size in bytes")
+	txs := fs.Int("transactions", 100, "measured transactions")
+	warm := fs.Int("warmup", 1, "warmup transactions")
+	seed := fs.Int64("seed", 1, "workload seed")
+	out := fs.String("o", "", "output file (binary trace)")
+	fs.Parse(args)
+	if *out == "" {
+		fail(fmt.Errorf("record: -o output file required"))
+	}
+	srcs, err := bench.BuildSources(bench.Spec{
+		Base:           config.Default(),
+		Workload:       *wl,
+		Scheme:         config.SuperMem, // irrelevant to the op stream
+		TxBytes:        *tx,
+		Transactions:   *txs,
+		Warmup:         *warm,
+		Cores:          1,
+		FootprintBytes: 8 << 20,
+		Seed:           *seed,
+	})
+	if err != nil {
+		fail(err)
+	}
+	ops := trace.Record(srcs[0])
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := trace.WriteBinary(f, ops); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d ops to %s\n", len(ops), *out)
+}
+
+func load(path string) []trace.Op {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	ops, err := trace.ReadBinary(f)
+	if err != nil {
+		fail(err)
+	}
+	return ops
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	ops := load(fs.Arg(0))
+	var counts [8]int
+	lines := map[uint64]bool{}
+	for _, op := range ops {
+		counts[op.Kind]++
+		switch op.Kind {
+		case trace.Read, trace.Write, trace.Flush:
+			lines[op.Addr/64] = true
+		}
+	}
+	fmt.Printf("%d ops: %d reads, %d writes, %d flushes, %d fences, %d compute, %d tx, %d distinct lines\n",
+		len(ops), counts[trace.Read], counts[trace.Write], counts[trace.Flush],
+		counts[trace.Fence], counts[trace.Compute], counts[trace.TxBegin], len(lines))
+}
+
+func dump(args []string) {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	if err := trace.WriteText(os.Stdout, load(fs.Arg(0))); err != nil {
+		fail(err)
+	}
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	schemeName := fs.String("scheme", "SuperMem", "scheme to time the trace under")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	var scheme config.Scheme
+	found := false
+	for _, s := range config.AllSchemes() {
+		if s.String() == *schemeName {
+			scheme, found = s, true
+		}
+	}
+	if !found {
+		fail(fmt.Errorf("unknown scheme %q", *schemeName))
+	}
+	ops := load(fs.Arg(0))
+	cfg := config.Default()
+	cfg.Scheme = scheme
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fail(err)
+	}
+	m, err := sys.Run([]trace.Source{trace.NewSliceSource(ops)})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("scheme=%s cycles=%d txs=%d avgTx=%.0f writes=%d (data %d + counter %d, %d coalesced) reads=%d ctrHit=%.3f\n",
+		scheme, m.Cycles, m.Transactions, m.AvgTxCycles(),
+		m.TotalNVMWrites(), m.DataWrites, m.CounterWrites, m.CoalescedWrites,
+		m.NVMReads, m.CtrCacheHitRate())
+}

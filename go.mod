@@ -1,0 +1,3 @@
+module supermem
+
+go 1.24

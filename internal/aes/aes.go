@@ -1,0 +1,149 @@
+// Package aes implements the AES-128 block cipher from scratch for the
+// SuperMem encryption engine. Only the encryption direction is needed:
+// counter mode encryption both encrypts and decrypts by XORing data with
+// an AES-generated one-time pad (OTP), so the inverse cipher is never
+// used (Figure 3 of the paper).
+//
+// The implementation follows FIPS-197 directly (SubBytes, ShiftRows,
+// MixColumns, AddRoundKey over a 4x4 column-major state). It is written
+// for clarity and determinism, not side-channel resistance: it models a
+// hardware AES engine inside a simulator.
+package aes
+
+import "fmt"
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+const rounds = 10
+
+// sbox is the FIPS-197 substitution box, generated at init time from the
+// multiplicative inverse in GF(2^8) followed by the affine transform, so
+// the table itself is verified construction rather than transcription.
+var sbox [256]byte
+
+func init() {
+	// Build log/antilog tables over GF(2^8) with generator 3.
+	var exp [256]byte
+	var log [256]byte
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		exp[i] = x
+		log[x] = byte(i)
+		// multiply x by 3 = x + xtime(x)
+		x ^= xtime(x)
+	}
+	inv := func(b byte) byte {
+		if b == 0 {
+			return 0
+		}
+		return exp[(255-int(log[b]))%255]
+	}
+	rotl := func(b byte, n uint) byte { return b<<n | b>>(8-n) }
+	for i := 0; i < 256; i++ {
+		v := inv(byte(i))
+		sbox[i] = v ^ rotl(v, 1) ^ rotl(v, 2) ^ rotl(v, 3) ^ rotl(v, 4) ^ 0x63
+	}
+}
+
+// xtime multiplies by x (i.e. 2) in GF(2^8) modulo x^8+x^4+x^3+x+1.
+func xtime(b byte) byte {
+	v := b << 1
+	if b&0x80 != 0 {
+		v ^= 0x1b
+	}
+	return v
+}
+
+// Cipher is an expanded AES-128 key schedule.
+type Cipher struct {
+	rk [4 * (rounds + 1)]uint32 // round keys as big-endian words
+}
+
+// New expands a 16-byte key into a Cipher. It returns an error for any
+// other key length.
+func New(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aes: invalid key size %d, want %d", len(key), KeySize)
+	}
+	c := &Cipher{}
+	for i := 0; i < 4; i++ {
+		c.rk[i] = uint32(key[4*i])<<24 | uint32(key[4*i+1])<<16 | uint32(key[4*i+2])<<8 | uint32(key[4*i+3])
+	}
+	rcon := uint32(1) << 24
+	for i := 4; i < len(c.rk); i++ {
+		t := c.rk[i-1]
+		if i%4 == 0 {
+			// RotWord, SubWord, Rcon.
+			t = t<<8 | t>>24
+			t = subWord(t) ^ rcon
+			rcon = uint32(xtime(byte(rcon>>24))) << 24
+		}
+		c.rk[i] = c.rk[i-4] ^ t
+	}
+	return c, nil
+}
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+// Encrypt computes dst = AES-128(src). dst and src must be 16 bytes and
+// may overlap exactly.
+func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: block too short")
+	}
+	var s [16]byte // column-major state: s[4*c+r]
+	copy(s[:], src[:16])
+
+	addRoundKey(&s, c.rk[0:4])
+	for round := 1; round < rounds; round++ {
+		subBytes(&s)
+		shiftRows(&s)
+		mixColumns(&s)
+		addRoundKey(&s, c.rk[4*round:4*round+4])
+	}
+	subBytes(&s)
+	shiftRows(&s)
+	addRoundKey(&s, c.rk[4*rounds:4*rounds+4])
+	copy(dst[:16], s[:])
+}
+
+func addRoundKey(s *[16]byte, rk []uint32) {
+	for col := 0; col < 4; col++ {
+		w := rk[col]
+		s[4*col+0] ^= byte(w >> 24)
+		s[4*col+1] ^= byte(w >> 16)
+		s[4*col+2] ^= byte(w >> 8)
+		s[4*col+3] ^= byte(w)
+	}
+}
+
+func subBytes(s *[16]byte) {
+	for i := range s {
+		s[i] = sbox[s[i]]
+	}
+}
+
+func shiftRows(s *[16]byte) {
+	// Row r of the state is s[r], s[4+r], s[8+r], s[12+r]; rotate left r.
+	s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
+	s[2], s[6], s[10], s[14] = s[10], s[14], s[2], s[6]
+	s[3], s[7], s[11], s[15] = s[15], s[3], s[7], s[11]
+}
+
+func mixColumns(s *[16]byte) {
+	for col := 0; col < 4; col++ {
+		a0, a1, a2, a3 := s[4*col], s[4*col+1], s[4*col+2], s[4*col+3]
+		all := a0 ^ a1 ^ a2 ^ a3
+		s[4*col+0] = a0 ^ all ^ xtime(a0^a1)
+		s[4*col+1] = a1 ^ all ^ xtime(a1^a2)
+		s[4*col+2] = a2 ^ all ^ xtime(a2^a3)
+		s[4*col+3] = a3 ^ all ^ xtime(a3^a0)
+	}
+}

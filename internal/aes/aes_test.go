@@ -1,0 +1,150 @@
+package aes
+
+import (
+	"bytes"
+	stdaes "crypto/aes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFIPS197Vector checks the worked example of FIPS-197 Appendix B/C.
+func TestFIPS197Vector(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	pt := mustHex(t, "00112233445566778899aabbccddeeff")
+	want := mustHex(t, "69c4e0d86a7b0430d8cdb78070b4c55a")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Encrypt = %x, want %x", got, want)
+	}
+}
+
+// TestFIPS197AppendixA checks the Appendix A example (different key).
+func TestFIPS197AppendixA(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	pt := mustHex(t, "3243f6a8885a308d313198a2e0370734")
+	want := mustHex(t, "3925841d02dc09fbdc118597196a0b32")
+	c, err := New(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Encrypt = %x, want %x", got, want)
+	}
+}
+
+// TestAgainstStdlib cross-checks random keys and blocks against the Go
+// standard library implementation.
+func TestAgainstStdlib(t *testing.T) {
+	f := func(key [16]byte, block [16]byte) bool {
+		ours, err := New(key[:])
+		if err != nil {
+			return false
+		}
+		std, err := stdaes.NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		got := make([]byte, 16)
+		want := make([]byte, 16)
+		ours.Encrypt(got, block[:])
+		std.Encrypt(want, block[:])
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInPlaceEncrypt(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	c, _ := New(key)
+	buf := mustHex(t, "00112233445566778899aabbccddeeff")
+	want := make([]byte, 16)
+	c.Encrypt(want, buf)
+	c.Encrypt(buf, buf) // in place
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("in-place Encrypt = %x, want %x", buf, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	key := make([]byte, 16)
+	rand.New(rand.NewSource(7)).Read(key)
+	c1, _ := New(key)
+	c2, _ := New(key)
+	in := make([]byte, 16)
+	a, b := make([]byte, 16), make([]byte, 16)
+	c1.Encrypt(a, in)
+	c2.Encrypt(b, in)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two ciphers with the same key disagree")
+	}
+}
+
+func TestDifferentBlocksDiffer(t *testing.T) {
+	c, _ := New(make([]byte, 16))
+	a, b := make([]byte, 16), make([]byte, 16)
+	in1 := make([]byte, 16)
+	in2 := make([]byte, 16)
+	in2[15] = 1
+	c.Encrypt(a, in1)
+	c.Encrypt(b, in2)
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct plaintexts encrypt identically")
+	}
+}
+
+func TestBadKeySize(t *testing.T) {
+	for _, n := range []int{0, 15, 17, 24, 32} {
+		if _, err := New(make([]byte, n)); err == nil {
+			t.Errorf("New accepted %d-byte key", n)
+		}
+	}
+}
+
+func TestShortBlockPanics(t *testing.T) {
+	c, _ := New(make([]byte, 16))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encrypt accepted short block")
+		}
+	}()
+	c.Encrypt(make([]byte, 16), make([]byte, 15))
+}
+
+func TestSboxSpotValues(t *testing.T) {
+	// Known S-box entries from FIPS-197 Figure 7.
+	cases := map[byte]byte{0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16, 0xc9: 0xdd}
+	for in, want := range cases {
+		if sbox[in] != want {
+			t.Errorf("sbox[%#x] = %#x, want %#x", in, sbox[in], want)
+		}
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	c, _ := New(make([]byte, 16))
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(buf, buf)
+	}
+}

@@ -1,0 +1,364 @@
+// Package bench is the experiment harness: it assembles workloads,
+// heaps, and systems for each figure and table of the paper's
+// evaluation (Figures 13-17, Table 1) and produces the same rows the
+// paper plots.
+package bench
+
+import (
+	"fmt"
+
+	"supermem/internal/alloc"
+	"supermem/internal/config"
+	"supermem/internal/core"
+	"supermem/internal/nvm"
+	"supermem/internal/pmem"
+	"supermem/internal/stats"
+	"supermem/internal/trace"
+	"supermem/internal/workload"
+)
+
+// Spec describes one simulation run.
+type Spec struct {
+	// Base is the system configuration template (scheme and core count
+	// are overridden per run).
+	Base config.Config
+	// Workload is one of workload.Names.
+	Workload string
+	// Scheme is the secure-NVM design under test.
+	Scheme config.Scheme
+	// TxBytes is the transaction request size (256/1024/4096 in the
+	// paper).
+	TxBytes int
+	// Transactions is the measured transaction count per core.
+	Transactions int
+	// Warmup is the number of unmeasured warmup transactions per core
+	// (they populate tree/hash structures and warm the caches).
+	Warmup int
+	// Cores is the number of programs, each on its own core.
+	Cores int
+	// FootprintBytes is the per-program data footprint target.
+	FootprintBytes uint64
+	// Seed drives workload randomness (per-core offsets are added).
+	Seed int64
+	// SingleCoreBanks overrides how many adjacent banks a single
+	// program spans (default 3: one for the log, two striping the
+	// heap); multi-program runs always use one bank per program, the
+	// paper's setup.
+	SingleCoreBanks int
+}
+
+// Opts are the sizing knobs shared by all figure runners.
+type Opts struct {
+	Transactions   int
+	Warmup         int
+	FootprintBytes uint64
+	Seed           int64
+}
+
+// DefaultOpts returns sizes balancing fidelity against runtime; the CLI
+// uses these, tests use smaller ones.
+func DefaultOpts() Opts {
+	return Opts{Transactions: 200, Warmup: 0, FootprintBytes: 8 << 20, Seed: 1}
+}
+
+func (o Opts) spec(base config.Config, wl string, scheme config.Scheme, txBytes, cores int) Spec {
+	return Spec{
+		Base:           base,
+		Workload:       wl,
+		Scheme:         scheme,
+		TxBytes:        txBytes,
+		Transactions:   o.Transactions,
+		Warmup:         o.Warmup,
+		Cores:          cores,
+		FootprintBytes: o.FootprintBytes,
+		Seed:           o.Seed,
+	}
+}
+
+const logRegionSize = 4 << 20 // per-program redo log region
+
+// bankAssignment returns the first bank and bank count of a program's
+// footprint. A single program spans a few adjacent banks ("continuous
+// memory space … adjacent banks"); with multiple programs each owns one
+// bank, so 8 programs keep all 8 banks busy — the paper's worst case
+// for XBank (Section 5.1.2).
+func bankAssignment(coreID, cores, banks, singleCoreBanks int) (first, n int) {
+	if cores == 1 {
+		n = singleCoreBanks
+		if n <= 0 {
+			n = 3
+		}
+		if n > banks/2 {
+			n = banks / 2 // keep the XBank partner banks free
+		}
+		return 0, n
+	}
+	return coreID % banks, 1
+}
+
+// items derives the structure sizing from the footprint target.
+func items(wl string, txBytes int, footprint uint64) int {
+	var unit uint64
+	switch wl {
+	case "array":
+		unit = uint64(txBytes / 2)
+	default:
+		unit = uint64(txBytes)
+	}
+	if unit < 64 {
+		unit = 64
+	}
+	n := int(footprint / unit)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// warmupSteps picks a warmup that populates pointer structures to the
+// footprint target when the caller didn't specify one.
+func warmupSteps(spec Spec) int {
+	if spec.Warmup > 0 {
+		return spec.Warmup
+	}
+	switch spec.Workload {
+	case "btree", "rbtree", "hashtable":
+		n := int(spec.FootprintBytes / uint64(spec.TxBytes))
+		if n < 32 {
+			n = 32
+		}
+		return n
+	case "queue":
+		return items(spec.Workload, spec.TxBytes, spec.FootprintBytes) / 2
+	default: // array: Setup already populates; just warm the caches
+		return 32
+	}
+}
+
+// BuildSources generates the per-core op streams for a spec (exported
+// for the trace tool).
+func BuildSources(spec Spec) ([]trace.Source, error) {
+	cfg := spec.Base
+	cfg.Cores = spec.Cores
+	cfg.Scheme = spec.Scheme
+	layout := nvm.NewLayout(cfg)
+	sources := make([]trace.Source, spec.Cores)
+	for i := 0; i < spec.Cores; i++ {
+		firstBank, nbanks := bankAssignment(i, spec.Cores, cfg.Banks, spec.SingleCoreBanks)
+		// Size each bank's region generously: structures keep growing
+		// past the footprint during the measured phase.
+		perBank := spec.FootprintBytes*2 + 16<<20
+		if max := layout.BankBytes - logRegionSize; perBank > max {
+			perBank = max
+		}
+		// With multiple banks the redo log gets the first bank to
+		// itself and the heap stripes the rest, so log and data writes
+		// drain in parallel; a single-bank program shares it.
+		var regions []alloc.Region
+		heapStart := 1
+		if nbanks == 1 {
+			heapStart = 0
+		}
+		for j := heapStart; j < nbanks; j++ {
+			base := layout.BankBase((firstBank+j)%cfg.Banks) + logRegionSize
+			regions = append(regions, alloc.Region{Base: base, Size: perBank})
+		}
+		heap, err := alloc.NewHeap(regions...)
+		if err != nil {
+			return nil, fmt.Errorf("bench: core %d heap: %w", i, err)
+		}
+		w, err := workload.New(spec.Workload, workload.Params{
+			Heap:    heap,
+			TxBytes: spec.TxBytes,
+			Items:   items(spec.Workload, spec.TxBytes, spec.FootprintBytes),
+			Seed:    spec.Seed + int64(i)*7919,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: core %d: %w", i, err)
+		}
+		b := pmem.NewTracingBackend()
+		logBase := layout.BankBase(firstBank)
+		tm := pmem.NewTxManager(b, logBase, logRegionSize)
+		if err := w.Setup(tm); err != nil {
+			return nil, fmt.Errorf("bench: core %d setup: %w", i, err)
+		}
+		tm.EnableMarkers(false)
+		for s := 0; s < warmupSteps(spec); s++ {
+			if err := w.Step(tm); err != nil {
+				return nil, fmt.Errorf("bench: core %d warmup step %d: %w", i, s, err)
+			}
+		}
+		b.Mark(trace.Op{Kind: trace.Reset})
+		tm.EnableMarkers(true)
+		for s := 0; s < spec.Transactions; s++ {
+			if err := w.Step(tm); err != nil {
+				return nil, fmt.Errorf("bench: core %d step %d: %w", i, s, err)
+			}
+		}
+		sources[i] = b.Source()
+	}
+	return sources, nil
+}
+
+// Run executes one spec and returns its metrics.
+func Run(spec Spec) (stats.Metrics, error) {
+	m, _, err := RunWithBanks(spec)
+	return m, err
+}
+
+// RunWithBanks is Run plus the per-bank busy-cycle breakdown — the
+// direct view of the Figure 8 story: under WT+SingleBank the counter
+// bank's busy share dwarfs every data bank's.
+func RunWithBanks(spec Spec) (stats.Metrics, []nvm.BankStats, error) {
+	cfg := spec.Base
+	cfg.Cores = spec.Cores
+	cfg.Scheme = spec.Scheme
+	sources, err := BuildSources(spec)
+	if err != nil {
+		return stats.Metrics{}, nil, err
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return stats.Metrics{}, nil, err
+	}
+	m, err := sys.Run(sources)
+	if err != nil {
+		return stats.Metrics{}, nil, err
+	}
+	return m, sys.BankStats(), nil
+}
+
+// schemeColumns renders the figure legends' scheme order.
+func schemeColumns() []string {
+	cols := make([]string, 0, 6)
+	for _, s := range config.AllSchemes() {
+		cols = append(cols, s.String())
+	}
+	return cols
+}
+
+// Fig13 reproduces Figure 13: single-core transaction execution latency
+// for the five workloads under the six schemes, at the given
+// transaction request size. Cells are average transaction latency in
+// cycles; print table.Normalize("Unsec") for the paper's presentation.
+func Fig13(base config.Config, txBytes int, o Opts) (*stats.Table, error) {
+	t := stats.NewTable(fmt.Sprintf("Figure 13: single-core tx latency, %dB transactions (cycles)", txBytes), schemeColumns()...)
+	for _, wl := range workload.Names {
+		row := make([]float64, 0, 6)
+		for _, s := range config.AllSchemes() {
+			m, err := Run(o.spec(base, wl, s, txBytes, 1))
+			if err != nil {
+				return nil, fmt.Errorf("fig13 %s/%v: %w", wl, s, err)
+			}
+			row = append(row, m.AvgTxCycles())
+		}
+		t.AddRow(wl, row...)
+	}
+	return t, nil
+}
+
+// Fig14 reproduces Figure 14: multi-core transaction latency with the
+// given number of programs (2, 4, or 8 in the paper) at 1 KB
+// transactions.
+func Fig14(base config.Config, programs int, o Opts) (*stats.Table, error) {
+	t := stats.NewTable(fmt.Sprintf("Figure 14: %d-program tx latency, 1KB transactions (cycles)", programs), schemeColumns()...)
+	for _, wl := range workload.Names {
+		row := make([]float64, 0, 6)
+		for _, s := range config.AllSchemes() {
+			m, err := Run(o.spec(base, wl, s, 1024, programs))
+			if err != nil {
+				return nil, fmt.Errorf("fig14 %s/%v: %w", wl, s, err)
+			}
+			row = append(row, m.AvgTxCycles())
+		}
+		t.AddRow(wl, row...)
+	}
+	return t, nil
+}
+
+// Fig15 reproduces Figure 15: the number of NVM write requests under
+// each scheme, normalized to Unsec, at the given transaction size.
+func Fig15(base config.Config, txBytes int, o Opts) (*stats.Table, error) {
+	raw := stats.NewTable(fmt.Sprintf("Figure 15: NVM writes, %dB transactions", txBytes), schemeColumns()...)
+	for _, wl := range workload.Names {
+		row := make([]float64, 0, 6)
+		for _, s := range config.AllSchemes() {
+			m, err := Run(o.spec(base, wl, s, txBytes, 1))
+			if err != nil {
+				return nil, fmt.Errorf("fig15 %s/%v: %w", wl, s, err)
+			}
+			row = append(row, float64(m.TotalNVMWrites()))
+		}
+		raw.AddRow(wl, row...)
+	}
+	return raw.Normalize("Unsec"), nil
+}
+
+// Fig16 reproduces Figure 16: sensitivity to write queue length.
+// The first table is the percentage of counter writes SuperMem removes
+// relative to WT (16a); the second is SuperMem's average transaction
+// latency (16b). Rows are workloads; columns are queue lengths.
+func Fig16(base config.Config, o Opts) (reduction, latency *stats.Table, err error) {
+	lengths := []int{8, 16, 32, 64, 128}
+	cols := make([]string, len(lengths))
+	for i, l := range lengths {
+		cols[i] = fmt.Sprintf("wq%d", l)
+	}
+	reduction = stats.NewTable("Figure 16a: % counter writes removed vs WT, by write queue length", cols...)
+	latency = stats.NewTable("Figure 16b: SuperMem tx latency (cycles), by write queue length", cols...)
+	for _, wl := range workload.Names {
+		redRow := make([]float64, 0, len(lengths))
+		latRow := make([]float64, 0, len(lengths))
+		for _, l := range lengths {
+			cfg := base
+			cfg.WriteQueueEntries = l
+			wt, err := Run(o.spec(cfg, wl, config.WT, 1024, 1))
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig16 %s wq%d WT: %w", wl, l, err)
+			}
+			sm, err := Run(o.spec(cfg, wl, config.SuperMem, 1024, 1))
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig16 %s wq%d SuperMem: %w", wl, l, err)
+			}
+			red := 0.0
+			if wt.CounterWrites > 0 {
+				red = 100 * (1 - float64(sm.CounterWrites)/float64(wt.CounterWrites))
+			}
+			redRow = append(redRow, red)
+			latRow = append(latRow, sm.AvgTxCycles())
+		}
+		reduction.AddRow(wl, redRow...)
+		latency.AddRow(wl, latRow...)
+	}
+	return reduction, latency, nil
+}
+
+// Fig17 reproduces Figure 17: sensitivity to counter cache size.
+// The first table is SuperMem's counter cache hit rate (17a); the
+// second is execution time normalized to the 1 KB counter cache (17b).
+func Fig17(base config.Config, o Opts) (hitRate, execTime *stats.Table, err error) {
+	sizes := []int{1 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	cols := []string{"1KB", "16KB", "64KB", "256KB", "1MB", "4MB"}
+	hitRate = stats.NewTable("Figure 17a: counter cache hit rate, by counter cache size", cols...)
+	rawTime := stats.NewTable("Figure 17b: execution time, by counter cache size", cols...)
+	for _, wl := range workload.Names {
+		hitRow := make([]float64, 0, len(sizes))
+		timeRow := make([]float64, 0, len(sizes))
+		for _, size := range sizes {
+			cfg := base
+			cfg.CounterCache.SizeBytes = size
+			if size < 64*cfg.CounterCache.Ways {
+				cfg.CounterCache.Ways = size / 64
+			}
+			m, err := Run(o.spec(cfg, wl, config.SuperMem, 1024, 1))
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig17 %s %s: %w", wl, cols[len(hitRow)], err)
+			}
+			hitRow = append(hitRow, m.CtrCacheHitRate())
+			timeRow = append(timeRow, float64(m.Cycles))
+		}
+		hitRate.AddRow(wl, hitRow...)
+		rawTime.AddRow(wl, timeRow...)
+	}
+	return hitRate, rawTime.Normalize("1KB"), nil
+}

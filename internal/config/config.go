@@ -1,0 +1,279 @@
+// Package config defines the system configuration for the SuperMem
+// simulator. The defaults mirror Table 2 of the paper: an 8-core x86-64
+// system at 2 GHz with a three-level cache hierarchy, a 256 KB counter
+// cache, and an 8 GB, 8-bank PCM main memory behind a 32-entry
+// ADR-protected write queue.
+package config
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LineSize is the cache line and memory line size in bytes. The whole
+// simulator works at line granularity; 64 bytes is fixed by the split
+// counter layout (one 64 B counter line covers one 4 KB page).
+const LineSize = 64
+
+// PageSize is the size of a memory page in bytes. One counter line holds
+// the major counter and the 64 minor counters of one page.
+const PageSize = 4096
+
+// LinesPerPage is the number of memory lines per page (and the number of
+// minor counters per counter line).
+const LinesPerPage = PageSize / LineSize
+
+// Scheme identifies one of the evaluated secure-NVM designs.
+type Scheme int
+
+const (
+	// Unsec is the un-encrypted baseline NVM (no counters at all).
+	Unsec Scheme = iota
+	// WB is the ideal secure NVM: a battery-backed write-back counter
+	// cache that only writes evicted dirty counter lines to NVM. It is
+	// the performance upper bound for an encrypted NVM.
+	WB
+	// WT is the baseline write-through counter cache: every data write
+	// appends a counter write, with counters stored in a single bank.
+	WT
+	// WTCWC is WT plus locality-aware counter write coalescing.
+	WTCWC
+	// WTXBank is WT plus cross-bank counter storage.
+	WTXBank
+	// SuperMem is WT plus both CWC and XBank: the paper's design.
+	SuperMem
+	// SCA approximates the selective counter-atomicity design of Liu et
+	// al. (the paper's main point of comparison): a write-back counter
+	// cache where only explicit cache-line flushes persist their counter
+	// atomically with the data; plain evictions leave the counter dirty
+	// in the cache. It needs no large battery, but in the real design
+	// the selectivity comes from new programming primitives — the
+	// application transparency SuperMem exists to avoid.
+	SCA
+)
+
+var schemeNames = map[Scheme]string{
+	Unsec:    "Unsec",
+	WB:       "WB",
+	WT:       "WT",
+	WTCWC:    "WT+CWC",
+	WTXBank:  "WT+XBank",
+	SuperMem: "SuperMem",
+	SCA:      "SCA",
+}
+
+// String returns the paper's name for the scheme.
+func (s Scheme) String() string {
+	if n, ok := schemeNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// AllSchemes lists the schemes in the order the paper's figures plot
+// them (SCA is an extension beyond the paper's figures; see
+// ExtendedSchemes).
+func AllSchemes() []Scheme {
+	return []Scheme{Unsec, WB, WT, WTCWC, WTXBank, SuperMem}
+}
+
+// ExtendedSchemes adds this repository's extra baselines to the paper's
+// scheme list.
+func ExtendedSchemes() []Scheme {
+	return append(AllSchemes(), SCA)
+}
+
+// Encrypted reports whether the scheme encrypts memory (all but Unsec).
+func (s Scheme) Encrypted() bool { return s != Unsec }
+
+// WriteThrough reports whether the scheme uses a write-through counter
+// cache for every data write to NVM.
+func (s Scheme) WriteThrough() bool {
+	return s == WT || s == WTCWC || s == WTXBank || s == SuperMem
+}
+
+// SelectiveAtomicity reports whether the scheme persists counters
+// atomically only for explicit flushes (the SCA extension).
+func (s Scheme) SelectiveAtomicity() bool { return s == SCA }
+
+// CWC reports whether counter write coalescing is enabled.
+func (s Scheme) CWC() bool { return s == WTCWC || s == SuperMem }
+
+// Placement identifies the counter-line placement policy (Figure 8).
+type Placement int
+
+const (
+	// SingleBank stores all counter lines in one dedicated bank
+	// (Figure 8a), the conventional layout.
+	SingleBank Placement = iota
+	// SameBank stores the counter line in the same bank as its data
+	// (Figure 8b).
+	SameBank
+	// XBank stores the counter line of data in bank X in bank
+	// (X + N/2) mod N (Figure 8c), the paper's layout.
+	XBank
+)
+
+var placementNames = map[Placement]string{
+	SingleBank: "SingleBank",
+	SameBank:   "SameBank",
+	XBank:      "XBank",
+}
+
+// String returns the paper's name for the placement.
+func (p Placement) String() string {
+	if n, ok := placementNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// CounterPlacement returns the counter placement the scheme uses.
+func (s Scheme) CounterPlacement() Placement {
+	if s == WTXBank || s == SuperMem {
+		return XBank
+	}
+	return SingleBank
+}
+
+// CacheConfig describes one set-associative cache.
+type CacheConfig struct {
+	// SizeBytes is the total capacity. Must be a multiple of
+	// Ways*LineSize and yield a power-of-two set count.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LatencyCycles is the access (hit) latency in CPU cycles.
+	LatencyCycles uint64
+}
+
+// Sets returns the number of sets.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (c.Ways * LineSize) }
+
+// Validate checks geometric constraints.
+func (c CacheConfig) Validate(name string) error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("config: %s: size and ways must be positive", name)
+	}
+	if c.SizeBytes%(c.Ways*LineSize) != 0 {
+		return fmt.Errorf("config: %s: size %d not divisible by ways*line (%d)", name, c.SizeBytes, c.Ways*LineSize)
+	}
+	if sets := c.Sets(); sets&(sets-1) != 0 {
+		return fmt.Errorf("config: %s: set count %d is not a power of two", name, sets)
+	}
+	return nil
+}
+
+// Config is the full system configuration.
+type Config struct {
+	// Cores is the number of CPU cores (programs) driving memory.
+	Cores int
+
+	// L1, L2 are per-core private caches; L3 is shared.
+	L1, L2, L3 CacheConfig
+
+	// CounterCache is the memory-controller counter cache.
+	CounterCache CacheConfig
+
+	// MemBytes is the NVM capacity in bytes.
+	MemBytes uint64
+	// Banks is the number of NVM banks.
+	Banks int
+
+	// ReadCycles is the PCM array read service time per line
+	// (approximately tRCD+tCL).
+	ReadCycles uint64
+	// WriteCycles is the PCM array write service time per line
+	// (approximately tWR).
+	WriteCycles uint64
+
+	// WriteQueueEntries is the capacity of the ADR-protected write
+	// queue in the memory controller.
+	WriteQueueEntries int
+
+	// AESCycles is the latency of the pipelined AES engine used for
+	// OTP generation.
+	AESCycles uint64
+
+	// Scheme selects the secure-NVM design under evaluation.
+	Scheme Scheme
+
+	// PlacementOverride, if non-nil, overrides the placement implied by
+	// Scheme (used by ablation experiments, e.g. WT+SameBank).
+	PlacementOverride *Placement
+
+	// CWCOverride, if non-nil, overrides the CWC setting implied by
+	// Scheme.
+	CWCOverride *bool
+}
+
+// Default returns the paper's Table 2 configuration with a single core and
+// the SuperMem scheme.
+func Default() Config {
+	return Config{
+		Cores:             1,
+		L1:                CacheConfig{SizeBytes: 32 << 10, Ways: 8, LatencyCycles: 2},
+		L2:                CacheConfig{SizeBytes: 512 << 10, Ways: 8, LatencyCycles: 16},
+		L3:                CacheConfig{SizeBytes: 4 << 20, Ways: 8, LatencyCycles: 30},
+		CounterCache:      CacheConfig{SizeBytes: 256 << 10, Ways: 8, LatencyCycles: 8},
+		MemBytes:          8 << 30,
+		Banks:             8,
+		ReadCycles:        126, // 63 ns at 2 GHz (tRCD+tCL = 48+15 ns)
+		WriteCycles:       600, // 300 ns at 2 GHz (tWR)
+		WriteQueueEntries: 32,
+		AESCycles:         24,
+		Scheme:            SuperMem,
+	}
+}
+
+// Placement returns the effective counter placement (override or the
+// scheme's default).
+func (c Config) Placement() Placement {
+	if c.PlacementOverride != nil {
+		return *c.PlacementOverride
+	}
+	return c.Scheme.CounterPlacement()
+}
+
+// CWC reports whether counter write coalescing is effective (override or
+// the scheme's default).
+func (c Config) CWC() bool {
+	if c.CWCOverride != nil {
+		return *c.CWCOverride
+	}
+	return c.Scheme.CWC()
+}
+
+// WithScheme returns a copy of c with the scheme replaced.
+func (c Config) WithScheme(s Scheme) Config {
+	c.Scheme = s
+	return c
+}
+
+// Validate checks the whole configuration for consistency.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("config: cores must be positive, got %d", c.Cores)
+	}
+	for _, cc := range []struct {
+		name string
+		c    CacheConfig
+	}{{"L1", c.L1}, {"L2", c.L2}, {"L3", c.L3}, {"counter cache", c.CounterCache}} {
+		if err := cc.c.Validate(cc.name); err != nil {
+			return err
+		}
+	}
+	if c.MemBytes == 0 || c.MemBytes%PageSize != 0 {
+		return fmt.Errorf("config: memory capacity %d must be a positive multiple of the page size", c.MemBytes)
+	}
+	if c.Banks <= 0 || bits.OnesCount(uint(c.Banks)) != 1 {
+		return fmt.Errorf("config: bank count %d must be a positive power of two", c.Banks)
+	}
+	if c.WriteQueueEntries <= 0 {
+		return fmt.Errorf("config: write queue must have at least one entry, got %d", c.WriteQueueEntries)
+	}
+	if c.ReadCycles == 0 || c.WriteCycles == 0 {
+		return fmt.Errorf("config: PCM service times must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"supermem/internal/config"
+	"supermem/internal/trace"
+)
+
+func TestSCAFlushesCarryCounters(t *testing.T) {
+	// Flushed lines persist their counter atomically under SCA, exactly
+	// like write-through.
+	m := run(t, testConfig(config.SCA), writeFlush(0, 64, 128))
+	if m.CounterWrites != 3 {
+		t.Fatalf("CounterWrites = %d, want 3 (flush path is counter-atomic)", m.CounterWrites)
+	}
+}
+
+func TestSCAEvictionsLeaveCountersCached(t *testing.T) {
+	// Plain dirty evictions (no flush) keep the counter dirty in the
+	// counter cache — the selective part of SCA.
+	var ops []trace.Op
+	for i := 0; i < 64; i++ {
+		ops = append(ops, trace.Op{Kind: trace.Write, Addr: uint64(i * 64)})
+	}
+	cfg := tinyCacheConfig(config.SCA)
+	// A roomy counter cache so evicted counters stay resident.
+	cfg.CounterCache = config.CacheConfig{SizeBytes: 8 << 10, Ways: 8, LatencyCycles: 8}
+	m := run(t, cfg, ops)
+	if m.DataWrites == 0 {
+		t.Fatal("no eviction traffic generated")
+	}
+	if m.CounterWrites != 0 {
+		t.Fatalf("CounterWrites = %d, want 0 (eviction counters stay write-back)", m.CounterWrites)
+	}
+}
+
+func TestSCABetweenWTAndWB(t *testing.T) {
+	// SCA writes at least as many counters as WB (which writes none
+	// until eviction) and no more than WT (which writes one per data
+	// write, flushes and evictions alike).
+	var ops []trace.Op
+	for i := 0; i < 48; i++ {
+		addr := uint64(i * 64)
+		ops = append(ops, trace.Op{Kind: trace.Write, Addr: addr})
+		if i%2 == 0 { // flush half the lines
+			ops = append(ops, trace.Op{Kind: trace.Flush, Addr: addr})
+		}
+	}
+	cw := func(s config.Scheme) uint64 {
+		return run(t, tinyCacheConfig(s), ops).CounterWrites
+	}
+	wb, sca, wt := cw(config.WB), cw(config.SCA), cw(config.WT)
+	if !(wb <= sca && sca <= wt) {
+		t.Fatalf("counter writes not ordered: WB=%d SCA=%d WT=%d", wb, sca, wt)
+	}
+	if sca == wt {
+		t.Fatalf("SCA (%d) shows no selectivity versus WT (%d)", sca, wt)
+	}
+}
+
+func TestSCASchemeProperties(t *testing.T) {
+	if !config.SCA.Encrypted() || config.SCA.WriteThrough() || !config.SCA.SelectiveAtomicity() {
+		t.Fatal("SCA scheme flags wrong")
+	}
+	if config.SCA.CWC() || config.SCA.CounterPlacement() != config.SingleBank {
+		t.Fatal("SCA should be plain SingleBank without CWC")
+	}
+	if config.SCA.String() != "SCA" {
+		t.Fatal("SCA name wrong")
+	}
+	ext := config.ExtendedSchemes()
+	if ext[len(ext)-1] != config.SCA || len(ext) != 7 {
+		t.Fatalf("ExtendedSchemes = %v", ext)
+	}
+}

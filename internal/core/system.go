@@ -1,0 +1,419 @@
+// Package core wires the SuperMem secure memory system together: the CPU
+// cache hierarchy, the counter cache with write-through or write-back
+// policy, the AES engine latency, the atomic-append register (Figure 7),
+// counter write coalescing, cross-bank counter placement, and RSR-backed
+// page re-encryption — i.e. the paper's contribution plus the five
+// comparison schemes of the evaluation (Unsec, WB, WT, WT+CWC,
+// WT+XBank, SuperMem).
+//
+// The package is the timing model: it executes per-core operation
+// streams (trace.Source) on a discrete-event engine and produces the
+// metrics behind every figure in the paper. Byte-accurate encryption and
+// crash behaviour live in internal/machine.
+package core
+
+import (
+	"fmt"
+
+	"supermem/internal/cache"
+	"supermem/internal/config"
+	"supermem/internal/ctr"
+	"supermem/internal/memctrl"
+	"supermem/internal/nvm"
+	"supermem/internal/sim"
+	"supermem/internal/stats"
+	"supermem/internal/trace"
+)
+
+// System is one simulated machine instance.
+type System struct {
+	cfg    config.Config
+	eng    *sim.Engine
+	dev    *nvm.Device
+	layout nvm.Layout
+	mc     *memctrl.Controller
+	l3     *cache.Cache
+
+	// ctrCache is the memory controller's counter cache; ctrStore is
+	// the architectural counter state used to detect minor-counter
+	// overflow (contents are modelled byte-exactly in internal/machine,
+	// not here).
+	ctrCache *cache.Cache
+	ctrStore *ctr.Store
+
+	cores []*coreState
+	m     stats.Metrics
+
+	placement config.Placement
+
+	// Warmup exclusion: when every core has executed a trace.Reset op,
+	// the global counters are snapshotted and subtracted from the final
+	// metrics, so setup/warmup traffic does not pollute the figures.
+	resetsSeen   int
+	snapshot     stats.Metrics
+	ctrSnapshot  cache.Stats
+	snapshotAt   uint64
+	haveSnapshot bool
+}
+
+type coreState struct {
+	id      int
+	l1, l2  *cache.Cache
+	src     trace.Source
+	inTx    bool
+	txStart uint64
+	done    bool
+	m       stats.Metrics
+}
+
+// NewSystem builds a system from the configuration.
+func NewSystem(cfg config.Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:       cfg,
+		eng:       &sim.Engine{},
+		placement: cfg.Placement(),
+	}
+	s.dev = nvm.NewDevice(cfg)
+	s.layout = s.dev.Layout()
+	s.mc = memctrl.New(s.eng, s.dev, cfg.WriteQueueEntries, cfg.CWC(), &s.m)
+	s.l3 = cache.New("L3", cfg.L3)
+	s.ctrCache = cache.New("ctrcache", cfg.CounterCache)
+	s.ctrStore = ctr.NewStore()
+	for i := 0; i < cfg.Cores; i++ {
+		s.cores = append(s.cores, &coreState{
+			id: i,
+			l1: cache.New(fmt.Sprintf("L1.%d", i), cfg.L1),
+			l2: cache.New(fmt.Sprintf("L2.%d", i), cfg.L2),
+		})
+	}
+	return s, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() config.Config { return s.cfg }
+
+// Layout returns the NVM address map.
+func (s *System) Layout() nvm.Layout { return s.layout }
+
+// BankStats returns the per-bank service counts and busy cycles
+// accumulated over the whole run (including warmup) — the direct view
+// of the SingleBank bottleneck and the XBank fix (Figure 8).
+func (s *System) BankStats() []nvm.BankStats { return s.dev.Stats() }
+
+// Run executes one op stream per core to completion (including draining
+// the write queue) and returns the merged metrics. It can be called once
+// per System.
+func (s *System) Run(sources []trace.Source) (stats.Metrics, error) {
+	if len(sources) != len(s.cores) {
+		return stats.Metrics{}, fmt.Errorf("core: %d sources for %d cores", len(sources), len(s.cores))
+	}
+	for i, c := range s.cores {
+		c.src = sources[i]
+		cc := c
+		s.eng.At(0, func(now uint64) { s.step(cc, now) })
+	}
+	s.eng.Run()
+	// Flush the write queue's lazy tail so every accepted write reaches
+	// NVM and is counted.
+	for !s.mc.Drained() {
+		s.mc.Flush(s.eng.Now())
+		s.eng.Run()
+	}
+	for _, c := range s.cores {
+		if !c.done {
+			return stats.Metrics{}, fmt.Errorf("core: core %d never finished (simulation deadlock)", c.id)
+		}
+	}
+	m := s.m
+	for _, c := range s.cores {
+		m.Add(c.m)
+	}
+	m.Cycles = s.eng.Now()
+	cs := s.ctrCache.Stats()
+	m.CtrCacheHits = cs.Hits
+	m.CtrCacheMisses = cs.Misses
+	m.CtrEvictions = cs.Writebacks
+	if s.haveSnapshot {
+		m.DataWrites -= s.snapshot.DataWrites
+		m.CounterWrites -= s.snapshot.CounterWrites
+		m.CoalescedWrites -= s.snapshot.CoalescedWrites
+		m.NVMReads -= s.snapshot.NVMReads
+		m.Reencryptions -= s.snapshot.Reencryptions
+		m.ReencryptLines -= s.snapshot.ReencryptLines
+		m.CtrCacheHits -= s.ctrSnapshot.Hits
+		m.CtrCacheMisses -= s.ctrSnapshot.Misses
+		m.CtrEvictions -= s.ctrSnapshot.Writebacks
+		m.Cycles -= s.snapshotAt
+	}
+	return m, nil
+}
+
+// step executes the core's next operation.
+func (s *System) step(c *coreState, now uint64) {
+	op, ok := c.src.Next()
+	if !ok {
+		c.done = true
+		return
+	}
+	next := func(at uint64) {
+		s.eng.At(at, func(n uint64) { s.step(c, n) })
+	}
+	switch op.Kind {
+	case trace.Compute:
+		next(now + op.Arg)
+	case trace.Fence:
+		// Flushes block until accepted into the ADR write queue, so
+		// ordering is already enforced; the fence itself costs a cycle.
+		next(now + 1)
+	case trace.TxBegin:
+		c.inTx = true
+		c.txStart = now
+		next(now)
+	case trace.TxEnd:
+		if c.inTx {
+			c.m.Transactions++
+			c.m.TxCycles += now - c.txStart
+			c.inTx = false
+		}
+		next(now)
+	case trace.Reset:
+		c.m.WQStallCycles = 0
+		c.m.ReadStallCycles = 0
+		s.resetsSeen++
+		if s.resetsSeen == len(s.cores) {
+			s.snapshot = s.m
+			s.ctrSnapshot = s.ctrCache.Stats()
+			s.snapshotAt = now
+			s.haveSnapshot = true
+		}
+		next(now)
+	case trace.Read:
+		lat, groups := s.readPath(c, now, nvm.LineAddr(op.Addr), false)
+		s.finishOp(c, now, lat, groups, next)
+	case trace.Write:
+		lat, groups := s.writeHit(c, now, nvm.LineAddr(op.Addr))
+		s.finishOp(c, now, lat, groups, next)
+	case trace.Flush:
+		lat, groups := s.flushPath(c, now, nvm.LineAddr(op.Addr))
+		s.finishOp(c, now, lat, groups, next)
+	default:
+		panic(fmt.Sprintf("core: unknown op kind %v", op.Kind))
+	}
+}
+
+// finishOp charges the op's latency, then performs its write-queue
+// enqueues sequentially (each may stall on a full queue), and finally
+// schedules the next op.
+func (s *System) finishOp(c *coreState, now, lat uint64, groups [][]memctrl.Entry, next func(uint64)) {
+	t := now + lat
+	if len(groups) == 0 {
+		next(t)
+		return
+	}
+	var run func(at uint64, i int)
+	run = func(at uint64, i int) {
+		if i == len(groups) {
+			next(at)
+			return
+		}
+		s.mc.Enqueue(at, groups[i], func(accepted uint64) {
+			c.m.WQStallCycles += accepted - at
+			run(accepted, i+1)
+		})
+	}
+	s.eng.At(t, func(at uint64) { run(at, 0) })
+}
+
+// readPath performs a load of the line at addr, returning the
+// core-visible latency and any write-queue groups produced by evictions.
+// fillDirty makes the line enter L1 dirty (write-allocate for stores).
+func (s *System) readPath(c *coreState, now, line uint64, fillDirty bool) (lat uint64, groups [][]memctrl.Entry) {
+	lat = s.cfg.L1.LatencyCycles
+	if c.l1.Access(line, fillDirty) {
+		return lat, nil
+	}
+	lat += s.cfg.L2.LatencyCycles
+	if c.l2.Access(line, false) {
+		groups = append(groups, s.fillUp(c, line, fillDirty)...)
+		return lat, groups
+	}
+	lat += s.cfg.L3.LatencyCycles
+	if s.l3.Access(line, false) {
+		groups = append(groups, s.fillUp(c, line, fillDirty)...)
+		return lat, groups
+	}
+	// Memory read: the data read and the OTP generation proceed in
+	// parallel (Figure 2b); the load completes when both are done.
+	reqAt := now + lat
+	dataDone := s.mc.ReadLine(reqAt, line)
+	readyAt := dataDone
+	if s.cfg.Scheme.Encrypted() {
+		ctrReady, g := s.counterForRead(c, reqAt, line)
+		groups = append(groups, g...)
+		if otpReady := ctrReady + s.cfg.AESCycles; otpReady > readyAt {
+			readyAt = otpReady
+		}
+	}
+	c.m.ReadStallCycles += readyAt - reqAt
+	// Fill the hierarchy: L3 then L2 then L1.
+	if v, ev := s.l3.Fill(line, false); ev && v.Dirty {
+		groups = append(groups, s.persistLine(c, readyAt, v.Addr, true)...)
+	}
+	groups = append(groups, s.fillUp(c, line, fillDirty)...)
+	return readyAt - now, groups
+}
+
+// fillUp installs the line into L2 and L1, cascading dirty victims
+// downwards. A dirty L2 victim lands in L3; a dirty L3 victim must be
+// persisted to NVM.
+func (s *System) fillUp(c *coreState, line uint64, dirty bool) (groups [][]memctrl.Entry) {
+	if v, ev := c.l2.Fill(line, false); ev && v.Dirty {
+		if v3, ev3 := s.l3.Fill(v.Addr, true); ev3 && v3.Dirty {
+			groups = append(groups, s.persistLine(c, s.eng.Now(), v3.Addr, true)...)
+		}
+	}
+	if v, ev := c.l1.Fill(line, dirty); ev && v.Dirty {
+		if v2, ev2 := c.l2.Fill(v.Addr, true); ev2 && v2.Dirty {
+			if v3, ev3 := s.l3.Fill(v2.Addr, true); ev3 && v3.Dirty {
+				groups = append(groups, s.persistLine(c, s.eng.Now(), v3.Addr, true)...)
+			}
+		}
+	}
+	return groups
+}
+
+// writeHit performs a store: a write-allocate load followed by marking
+// the line dirty in L1.
+func (s *System) writeHit(c *coreState, now, line uint64) (uint64, [][]memctrl.Entry) {
+	return s.readPath(c, now, line, true)
+}
+
+// flushPath implements clwb: if the line is dirty anywhere it is cleaned
+// in place and written back to NVM through the secure write path.
+func (s *System) flushPath(c *coreState, now, line uint64) (lat uint64, groups [][]memctrl.Entry) {
+	lat = s.cfg.L1.LatencyCycles
+	dirty := c.l1.Clean(line)
+	dirty = c.l2.Clean(line) || dirty
+	dirty = s.l3.Clean(line) || dirty
+	if !dirty {
+		return lat, nil
+	}
+	plat, pgroups := s.persistLatency(c, now+lat, line)
+	return lat + plat, pgroups
+}
+
+// persistLine is the eviction-side persist path: it produces the write
+// groups for a dirty line leaving the cache hierarchy. Counter fetch
+// time is not charged to the core (writeback buffers hide it), but the
+// counter read still consumes NVM bank bandwidth.
+func (s *System) persistLine(c *coreState, t, line uint64, _ bool) [][]memctrl.Entry {
+	_, groups := s.securePersist(c, t, line, false)
+	return groups
+}
+
+// persistLatency is the flush-side persist path: the core waits for the
+// counter lookup and encryption before the flush can be appended
+// (Figure 7: Enc, Sto, App).
+func (s *System) persistLatency(c *coreState, t, line uint64) (uint64, [][]memctrl.Entry) {
+	return s.securePersist(c, t, line, true)
+}
+
+// securePersist builds the NVM write(s) for one data line under the
+// configured scheme. charge controls whether counter-fetch and AES
+// latency are core-visible.
+func (s *System) securePersist(c *coreState, t, line uint64, charge bool) (lat uint64, groups [][]memctrl.Entry) {
+	if !s.cfg.Scheme.Encrypted() {
+		return 0, [][]memctrl.Entry{{{Addr: line}}}
+	}
+	// Write-through schemes persist the counter with every data write;
+	// the SCA extension does so only on the flush path (charge=true is
+	// the flush path), leaving eviction counters dirty in the cache.
+	writeThrough := s.cfg.Scheme.WriteThrough() ||
+		(s.cfg.Scheme.SelectiveAtomicity() && charge)
+	ctrAddr := s.layout.CounterLineAddr(line, s.placement)
+
+	// Locate the counter line; fetch it from NVM on a miss.
+	if s.ctrCache.Access(ctrAddr, !writeThrough) {
+		lat = s.cfg.CounterCache.LatencyCycles
+	} else {
+		done := s.mc.ReadLine(t, ctrAddr)
+		lat = done - t
+		groups = append(groups, s.fillCtr(ctrAddr, !writeThrough)...)
+	}
+
+	// Advance the minor counter; overflow forces page re-encryption.
+	page := s.layout.PageOf(line)
+	cl := s.ctrStore.Get(page)
+	if cl.Bump(ctr.LineIndex(line)) {
+		relat, regroups := s.reencryptPage(c, t+lat, page)
+		if charge {
+			lat += relat
+		}
+		return lat, append(groups, regroups...)
+	}
+
+	lat += s.cfg.AESCycles // encrypt the line with the fresh OTP
+	if !charge {
+		lat = 0
+	}
+	if writeThrough {
+		// The register (Figure 7) appends the encrypted data line and
+		// its counter line atomically.
+		groups = append(groups, []memctrl.Entry{{Addr: line}, {Addr: ctrAddr, Counter: true}})
+	} else {
+		// Write-back: the counter stays dirty in the counter cache and
+		// reaches NVM only on eviction.
+		groups = append(groups, []memctrl.Entry{{Addr: line}})
+	}
+	return lat, groups
+}
+
+// counterForRead makes the counter of a data line available for OTP
+// generation, returning when it is ready and any eviction writes.
+func (s *System) counterForRead(c *coreState, t, line uint64) (readyAt uint64, groups [][]memctrl.Entry) {
+	ctrAddr := s.layout.CounterLineAddr(line, s.placement)
+	if s.ctrCache.Access(ctrAddr, false) {
+		return t + s.cfg.CounterCache.LatencyCycles, nil
+	}
+	done := s.mc.ReadLine(t, ctrAddr)
+	groups = s.fillCtr(ctrAddr, false)
+	return done, groups
+}
+
+// fillCtr installs a counter line in the counter cache; a displaced
+// dirty counter line (write-back schemes only) must be written to NVM.
+func (s *System) fillCtr(ctrAddr uint64, dirty bool) (groups [][]memctrl.Entry) {
+	if v, ev := s.ctrCache.Fill(ctrAddr, dirty); ev && v.Dirty {
+		groups = append(groups, []memctrl.Entry{{Addr: v.Addr, Counter: true}})
+	}
+	return groups
+}
+
+// reencryptPage models Section 3.4.4: every line of the page is read
+// into the cache hierarchy, re-encrypted under the incremented major
+// counter, and written back, tracked by the ADR-protected RSR. The
+// counter store has already been reset by Bump; the write groups are
+// data+counter pairs so CWC collapses the 64 counter writes.
+func (s *System) reencryptPage(c *coreState, t uint64, page uint64) (lat uint64, groups [][]memctrl.Entry) {
+	s.m.Reencryptions++
+	base := page * config.PageSize
+	ctrAddr := s.layout.CounterLineAddr(base, s.placement)
+	readsDone := t
+	for i := uint64(0); i < config.LinesPerPage; i++ {
+		line := base + i*config.LineSize
+		if !c.l1.Contains(line) && !c.l2.Contains(line) && !s.l3.Contains(line) {
+			if done := s.mc.ReadLine(t, line); done > readsDone {
+				readsDone = done
+			}
+		}
+		groups = append(groups, []memctrl.Entry{{Addr: line}, {Addr: ctrAddr, Counter: true}})
+	}
+	s.m.ReencryptLines += config.LinesPerPage
+	// The AES pipeline re-encrypts the 64 lines back to back once the
+	// last read returns.
+	lat = (readsDone - t) + s.cfg.AESCycles + config.LinesPerPage
+	return lat, groups
+}

@@ -1,0 +1,266 @@
+// Package crash is the crash-consistency fuzzer: it runs the
+// evaluation's workloads on the byte-accurate machine, injects a power
+// failure at chosen persistence steps, recovers (ADR drain + redo-log
+// recovery), and checks the structure's invariants. Because workloads
+// are deterministic, the expected post-crash state is reconstructed by
+// replaying the same seed for n or n+1 steps — the recovered structure
+// must match one of the two (transaction atomicity).
+package crash
+
+import (
+	"fmt"
+
+	"supermem/internal/alloc"
+	"supermem/internal/machine"
+	"supermem/internal/pmem"
+	"supermem/internal/workload"
+)
+
+// Params configures a fuzzing run.
+type Params struct {
+	// Mode is the machine design under test.
+	Mode machine.Mode
+	// Workload is one of workload.Names.
+	Workload string
+	// TxBytes is the transaction request size.
+	TxBytes int
+	// Items sizes the structure.
+	Items int
+	// Steps is how many transactions the run attempts.
+	Steps int
+	// Seed drives the workload and the heap layout.
+	Seed int64
+	// Key is the machine's AES key (16 bytes); a default is used when
+	// nil.
+	Key []byte
+}
+
+func (p Params) withDefaults() Params {
+	if p.TxBytes == 0 {
+		p.TxBytes = 256
+	}
+	if p.Items == 0 {
+		p.Items = 32
+	}
+	if p.Steps == 0 {
+		p.Steps = 20
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Key == nil {
+		p.Key = []byte("crash-fuzz-key..")
+	}
+	return p
+}
+
+const (
+	logBase  = 0
+	logSize  = 1 << 20
+	heapBase = 1 << 20
+	heapSize = 64 << 20
+)
+
+// newHeap builds the deterministic heap every run (and replay) shares.
+func newHeap() (*alloc.Heap, error) {
+	return alloc.NewHeap(
+		alloc.Region{Base: heapBase, Size: heapSize},
+		alloc.Region{Base: heapBase + heapSize, Size: heapSize},
+	)
+}
+
+// build constructs a workload over the backend and runs setup.
+func build(p Params, b pmem.Backend) (workload.Workload, *pmem.TxManager, error) {
+	heap, err := newHeap()
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := workload.New(p.Workload, workload.Params{
+		Heap:    heap,
+		TxBytes: p.TxBytes,
+		Items:   p.Items,
+		Seed:    p.Seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tm := pmem.NewTxManager(b, logBase, logSize)
+	if err := w.Setup(tm); err != nil {
+		return nil, nil, err
+	}
+	return w, tm, nil
+}
+
+// Result reports one crash experiment.
+type Result struct {
+	// CrashStep is the persistence step at which power failed (-1 when
+	// the run completed without reaching it).
+	CrashStep int
+	// CompletedSteps is the number of transactions that finished before
+	// the crash.
+	CompletedSteps int
+	// Crashed reports whether the injection point was reached.
+	Crashed bool
+	// Consistent reports whether the recovered structure matched the
+	// state after CompletedSteps or CompletedSteps+1 transactions.
+	Consistent bool
+	// Detail carries the verification error when inconsistent.
+	Detail string
+}
+
+// Run executes the workload with a crash armed at the given persistence
+// step (counted from the end of setup), recovers, and classifies the
+// outcome.
+func Run(p Params, crashAt int) (Result, error) {
+	p = p.withDefaults()
+	m, err := machine.New(p.Mode, p.Key)
+	if err != nil {
+		return Result{}, err
+	}
+	w, tm, err := build(p, m)
+	if err != nil {
+		return Result{}, err
+	}
+	m.ArmCrashAtPersist(crashAt)
+	completed := 0
+	for i := 0; i < p.Steps && !m.Crashed(); i++ {
+		if err := w.Step(tm); err != nil {
+			// A step interrupted by the power failure may fail its own
+			// sanity checks (reads on a dead machine return zeros);
+			// that is the crash, not a bug.
+			if m.Crashed() {
+				break
+			}
+			return Result{}, fmt.Errorf("crash: step %d: %w", i, err)
+		}
+		if !m.Crashed() {
+			completed++
+		}
+	}
+	res := Result{CrashStep: crashAt, CompletedSteps: completed, Crashed: m.Crashed()}
+	if !m.Crashed() {
+		// The run finished before the injection point; verify in place.
+		res.CompletedSteps = p.Steps
+		res.Consistent = true
+		if err := w.Verify(m); err != nil {
+			res.Consistent = false
+			res.Detail = err.Error()
+		}
+		return res, nil
+	}
+
+	r := m.Recover()
+	pmem.Recover(r, logBase, logSize)
+
+	// The recovered structure must equal the replayed state after
+	// either `completed` or `completed+1` transactions.
+	for _, n := range []int{completed, completed + 1} {
+		ok, err := matchesReplay(p, r, n)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			res.Consistent = true
+			return res, nil
+		}
+	}
+	// Capture a diagnostic from the nearer replay.
+	replayW, err := replay(p, res.CompletedSteps)
+	if err != nil {
+		return Result{}, err
+	}
+	if verr := replayW.Verify(r); verr != nil {
+		res.Detail = verr.Error()
+	}
+	return res, nil
+}
+
+// replay rebuilds the workload's Go-side bookkeeping after n steps on a
+// scratch backend (deterministic: same seed, same heap layout).
+func replay(p Params, n int) (workload.Workload, error) {
+	b := pmem.NewTracingBackend()
+	w, tm, err := build(p, b)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Step(tm); err != nil {
+			return nil, fmt.Errorf("crash: replay step %d: %w", i, err)
+		}
+	}
+	return w, nil
+}
+
+// matchesReplay checks the recovered machine against the n-step replay.
+func matchesReplay(p Params, r *machine.Machine, n int) (bool, error) {
+	w, err := replay(p, n)
+	if err != nil {
+		return false, err
+	}
+	return w.Verify(r) == nil, nil
+}
+
+// SweepResult aggregates a crash-point sweep.
+type SweepResult struct {
+	Params       Params
+	TotalPoints  int
+	Crashed      int
+	Inconsistent []Result
+}
+
+// Consistent reports whether every crash point recovered consistently.
+func (s SweepResult) Consistent() bool { return len(s.Inconsistent) == 0 }
+
+// String summarises the sweep.
+func (s SweepResult) String() string {
+	return fmt.Sprintf("%s/%s: %d crash points, %d crashed, %d inconsistent",
+		s.Params.Mode, s.Params.Workload, s.TotalPoints, s.Crashed, len(s.Inconsistent))
+}
+
+// Sweep measures the run's total persistence steps, then crash-tests
+// every stride-th step. Stride 1 sweeps every persistence step.
+func Sweep(p Params, stride int) (SweepResult, error) {
+	p = p.withDefaults()
+	if stride < 1 {
+		stride = 1
+	}
+	total, err := countPersists(p)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	out := SweepResult{Params: p, TotalPoints: 0}
+	for crashAt := 0; crashAt < total; crashAt += stride {
+		res, err := Run(p, crashAt)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		out.TotalPoints++
+		if res.Crashed {
+			out.Crashed++
+		}
+		if !res.Consistent {
+			out.Inconsistent = append(out.Inconsistent, res)
+		}
+	}
+	return out, nil
+}
+
+// countPersists runs the workload crash-free and returns the persist
+// steps consumed by its transactions (after setup).
+func countPersists(p Params) (int, error) {
+	m, err := machine.New(p.Mode, p.Key)
+	if err != nil {
+		return 0, err
+	}
+	w, tm, err := build(p, m)
+	if err != nil {
+		return 0, err
+	}
+	base := m.Persists()
+	for i := 0; i < p.Steps; i++ {
+		if err := w.Step(tm); err != nil {
+			return 0, fmt.Errorf("crash: counting step %d: %w", i, err)
+		}
+	}
+	return m.Persists() - base, nil
+}

@@ -1,0 +1,201 @@
+// Package ctr implements the split counter mode encryption state of the
+// paper (Figure 9): each 4 KB page has one 64-bit major counter shared by
+// the page and 64 per-line 7-bit minor counters, all packed into a single
+// 64 B memory line (8 bytes major + 56 bytes of packed minors).
+//
+// A memory line is encrypted by XORing it with a one-time pad derived
+// from AES(key, line address || major || minor || block index). When a
+// minor counter overflows, the major counter is incremented, every minor
+// counter resets to zero, and the whole page must be re-encrypted under
+// the new counters (Section 3.4.4).
+package ctr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"supermem/internal/aes"
+	"supermem/internal/config"
+)
+
+// MinorBits is the width of a minor counter.
+const MinorBits = 7
+
+// MinorMax is the largest value a minor counter can hold.
+const MinorMax = 1<<MinorBits - 1 // 127
+
+// LineBytes is the serialized size of a counter line: one memory line.
+const LineBytes = config.LineSize
+
+// Line is the decoded counter line of one page.
+type Line struct {
+	Major  uint64
+	Minors [config.LinesPerPage]uint8
+}
+
+// Bump advances the minor counter of line index li for a new write.
+// If the minor counter is already saturated, the page overflows: the
+// major counter increments, all minors reset, and Bump reports
+// overflow=true so the caller can re-encrypt the page. After an
+// overflow the written line's minor is 1 (its write consumed the first
+// count under the new major), matching re-encryption where the other
+// lines carry minor 0.
+func (l *Line) Bump(li int) (overflow bool) {
+	if li < 0 || li >= config.LinesPerPage {
+		panic(fmt.Sprintf("ctr: line index %d out of range", li))
+	}
+	if l.Minors[li] == MinorMax {
+		l.Major++
+		for i := range l.Minors {
+			l.Minors[i] = 0
+		}
+		l.Minors[li] = 1
+		return true
+	}
+	l.Minors[li]++
+	return false
+}
+
+// Pack serializes the counter line into exactly one 64 B memory line:
+// 8 bytes of major counter followed by 64 minors packed at 7 bits each
+// (56 bytes).
+func (l *Line) Pack() [LineBytes]byte {
+	var out [LineBytes]byte
+	binary.LittleEndian.PutUint64(out[0:8], l.Major)
+	bitpos := 0
+	for _, m := range l.Minors {
+		byteIdx := 8 + bitpos/8
+		bitOff := bitpos % 8
+		v := uint16(m&MinorMax) << bitOff
+		out[byteIdx] |= byte(v)
+		if bitOff > 1 { // spills into the next byte
+			out[byteIdx+1] |= byte(v >> 8)
+		}
+		bitpos += MinorBits
+	}
+	return out
+}
+
+// Unpack decodes a packed counter line.
+func Unpack(b [LineBytes]byte) Line {
+	var l Line
+	l.Major = binary.LittleEndian.Uint64(b[0:8])
+	bitpos := 0
+	for i := range l.Minors {
+		byteIdx := 8 + bitpos/8
+		bitOff := bitpos % 8
+		v := uint16(b[byteIdx]) >> bitOff
+		if bitOff > 1 {
+			v |= uint16(b[byteIdx+1]) << (8 - bitOff)
+		}
+		l.Minors[i] = uint8(v) & MinorMax
+		bitpos += MinorBits
+	}
+	return l
+}
+
+// Store holds the counter lines of every page, keyed by page index.
+// Pages start with all-zero counters (the factory state).
+type Store struct {
+	lines map[uint64]*Line
+}
+
+// NewStore returns an empty counter store.
+func NewStore() *Store {
+	return &Store{lines: make(map[uint64]*Line)}
+}
+
+// Get returns the counter line of a page, creating a zero line on first
+// touch.
+func (s *Store) Get(page uint64) *Line {
+	l, ok := s.lines[page]
+	if !ok {
+		l = &Line{}
+		s.lines[page] = l
+	}
+	return l
+}
+
+// Peek returns the counter line of a page without creating it; the
+// second result reports presence.
+func (s *Store) Peek(page uint64) (Line, bool) {
+	l, ok := s.lines[page]
+	if !ok {
+		return Line{}, false
+	}
+	return *l, true
+}
+
+// Set overwrites the counter line of a page.
+func (s *Store) Set(page uint64, l Line) {
+	cp := l
+	s.lines[page] = &cp
+}
+
+// Len returns the number of touched pages.
+func (s *Store) Len() int { return len(s.lines) }
+
+// Clone deep-copies the store (used to snapshot persisted counter state
+// in the crash machine).
+func (s *Store) Clone() *Store {
+	out := NewStore()
+	for p, l := range s.lines {
+		cp := *l
+		out.lines[p] = &cp
+	}
+	return out
+}
+
+// Pages iterates over all touched pages.
+func (s *Store) Pages(visit func(page uint64, l *Line)) {
+	for p, l := range s.lines {
+		visit(p, l)
+	}
+}
+
+// Pad is a one-time pad covering a full memory line.
+type Pad [config.LineSize]byte
+
+// OTP derives the one-time pad for a memory line from the secret key
+// (the expanded cipher), the line address, and the line's counter pair
+// (Figure 3: OTP = AES(key, address, counter)). The AES input packs the
+// line number (48 bits — a line address divided by the 64 B line size),
+// the 7-bit minor counter, the 2-bit block index, and the full 64-bit
+// major counter, which is injective over every field, so no two distinct
+// (address, counter, block) tuples ever reuse a pad. The 64 B pad needs
+// four AES blocks, distinguished by the block index.
+func OTP(c *aes.Cipher, lineAddr uint64, major uint64, minor uint8) Pad {
+	var pad Pad
+	var in [aes.BlockSize]byte
+	lineNo := lineAddr / config.LineSize
+	in[0] = byte(lineNo)
+	in[1] = byte(lineNo >> 8)
+	in[2] = byte(lineNo >> 16)
+	in[3] = byte(lineNo >> 24)
+	in[4] = byte(lineNo >> 32)
+	in[5] = byte(lineNo >> 40)
+	in[6] = minor
+	binary.LittleEndian.PutUint64(in[8:16], major)
+	for blk := 0; blk < config.LineSize/aes.BlockSize; blk++ {
+		in[7] = byte(blk)
+		c.Encrypt(pad[blk*aes.BlockSize:(blk+1)*aes.BlockSize], in[:])
+	}
+	return pad
+}
+
+// XorLine XORs a 64 B line with a pad, returning the result. Applying it
+// twice with the same pad round-trips (encrypt == decrypt in counter
+// mode).
+func XorLine(data [config.LineSize]byte, pad Pad) [config.LineSize]byte {
+	var out [config.LineSize]byte
+	for i := range data {
+		out[i] = data[i] ^ pad[i]
+	}
+	return out
+}
+
+// LineIndex returns the index of a data address's line within its page
+// (the minor counter slot).
+func LineIndex(addr uint64) int {
+	return int(addr % config.PageSize / config.LineSize)
+}

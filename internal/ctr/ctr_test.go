@@ -1,0 +1,279 @@
+package ctr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"supermem/internal/aes"
+	"supermem/internal/config"
+)
+
+func TestBumpIncrements(t *testing.T) {
+	var l Line
+	if ov := l.Bump(3); ov {
+		t.Fatal("first bump overflowed")
+	}
+	if l.Minors[3] != 1 || l.Major != 0 {
+		t.Fatalf("after one bump: minor=%d major=%d", l.Minors[3], l.Major)
+	}
+	for i := 0; i < 10; i++ {
+		l.Bump(3)
+	}
+	if l.Minors[3] != 11 {
+		t.Fatalf("minor = %d after 11 bumps, want 11", l.Minors[3])
+	}
+	if l.Minors[2] != 0 {
+		t.Fatal("bump touched a neighbouring minor")
+	}
+}
+
+func TestBumpOverflow(t *testing.T) {
+	var l Line
+	l.Minors[7] = MinorMax
+	l.Minors[8] = 42
+	ov := l.Bump(7)
+	if !ov {
+		t.Fatal("saturated minor did not overflow")
+	}
+	if l.Major != 1 {
+		t.Fatalf("major = %d after overflow, want 1", l.Major)
+	}
+	if l.Minors[8] != 0 {
+		t.Fatal("overflow did not reset other minors")
+	}
+	if l.Minors[7] != 1 {
+		t.Fatalf("overflowing line's minor = %d, want 1 (its write consumed the first count)", l.Minors[7])
+	}
+}
+
+func TestBumpExactly128WritesPerOverflow(t *testing.T) {
+	var l Line
+	overflows := 0
+	for i := 0; i < 128*3; i++ {
+		if l.Bump(0) {
+			overflows++
+		}
+	}
+	// Writes 1..127 fill the minor, write 128 overflows; thereafter the
+	// minor starts at 1, so every subsequent 127 writes overflow once.
+	if overflows != 3 {
+		t.Fatalf("overflows = %d in 384 writes, want 3", overflows)
+	}
+}
+
+func TestBumpOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bump accepted out-of-range index")
+		}
+	}()
+	var l Line
+	l.Bump(config.LinesPerPage)
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(major uint64, seed int64) bool {
+		var l Line
+		l.Major = major
+		s := uint64(seed)
+		for i := range l.Minors {
+			s = s*6364136223846793005 + 1442695040888963407
+			l.Minors[i] = uint8(s>>33) & MinorMax
+		}
+		return Unpack(l.Pack()) == l
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackFitsOneLine(t *testing.T) {
+	var l Line
+	l.Major = ^uint64(0)
+	for i := range l.Minors {
+		l.Minors[i] = MinorMax
+	}
+	packed := l.Pack()
+	if len(packed) != config.LineSize {
+		t.Fatalf("packed size = %d, want %d", len(packed), config.LineSize)
+	}
+	if Unpack(packed) != l {
+		t.Fatal("max-valued line does not round trip")
+	}
+}
+
+func TestPackDistinctMinors(t *testing.T) {
+	// Each minor occupies its own 7 bits: flipping one minor changes the
+	// packing, and no other decoded minor.
+	var base Line
+	packedBase := base.Pack()
+	for i := 0; i < config.LinesPerPage; i++ {
+		l := base
+		l.Minors[i] = 99
+		p := l.Pack()
+		if p == packedBase {
+			t.Fatalf("changing minor %d did not change packing", i)
+		}
+		u := Unpack(p)
+		for j := range u.Minors {
+			want := uint8(0)
+			if j == i {
+				want = 99
+			}
+			if u.Minors[j] != want {
+				t.Fatalf("minor %d set; decoded minor %d = %d, want %d", i, j, u.Minors[j], want)
+			}
+		}
+	}
+}
+
+func TestStoreGetCreatesZero(t *testing.T) {
+	s := NewStore()
+	l := s.Get(42)
+	if l.Major != 0 || l.Minors[0] != 0 {
+		t.Fatal("fresh page counter not zero")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	l.Bump(0)
+	if s.Get(42).Minors[0] != 1 {
+		t.Fatal("Get did not return a stable pointer")
+	}
+}
+
+func TestStorePeekAndSet(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Peek(7); ok {
+		t.Fatal("Peek created a page")
+	}
+	s.Set(7, Line{Major: 3})
+	got, ok := s.Peek(7)
+	if !ok || got.Major != 3 {
+		t.Fatalf("Peek = %+v,%v after Set", got, ok)
+	}
+	// Set stores a copy.
+	l := Line{Major: 9}
+	s.Set(8, l)
+	l.Major = 100
+	if got, _ := s.Peek(8); got.Major != 9 {
+		t.Fatal("Set did not copy the line")
+	}
+}
+
+func TestStoreCloneIsDeep(t *testing.T) {
+	s := NewStore()
+	s.Get(1).Bump(0)
+	c := s.Clone()
+	s.Get(1).Bump(0)
+	if c.Get(1).Minors[0] != 1 {
+		t.Fatalf("clone minor = %d, want 1 (mutation leaked)", c.Get(1).Minors[0])
+	}
+	if s.Get(1).Minors[0] != 2 {
+		t.Fatal("original lost its mutation")
+	}
+}
+
+func TestStorePages(t *testing.T) {
+	s := NewStore()
+	s.Get(1)
+	s.Get(5)
+	seen := map[uint64]bool{}
+	s.Pages(func(p uint64, _ *Line) { seen[p] = true })
+	if !seen[1] || !seen[5] || len(seen) != 2 {
+		t.Fatalf("Pages visited %v", seen)
+	}
+}
+
+func newCipher(t testing.TB) *aes.Cipher {
+	t.Helper()
+	c, err := aes.New([]byte("0123456789abcdef"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestXorRoundTrip(t *testing.T) {
+	c := newCipher(t)
+	var data [config.LineSize]byte
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	pad := OTP(c, 0x1000, 5, 9)
+	enc := XorLine(data, pad)
+	if enc == data {
+		t.Fatal("encryption is the identity")
+	}
+	dec := XorLine(enc, pad)
+	if dec != data {
+		t.Fatal("XOR round trip failed")
+	}
+}
+
+// Property: pads differ whenever address, major, minor, or block
+// position differ — the one-time property the scheme's security rests
+// on (Section 2.2.4).
+func TestOTPUniqueness(t *testing.T) {
+	c := newCipher(t)
+	base := OTP(c, 64, 1, 1)
+	variants := []Pad{
+		OTP(c, 128, 1, 1), // different line
+		OTP(c, 64, 2, 1),  // different major
+		OTP(c, 64, 1, 2),  // different minor
+	}
+	for i, v := range variants {
+		if v == base {
+			t.Errorf("variant %d produced an identical pad", i)
+		}
+	}
+	// The four 16 B blocks within one pad differ from each other.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			same := true
+			for k := 0; k < 16; k++ {
+				if base[i*16+k] != base[j*16+k] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("pad blocks %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+// Property: decrypting with the wrong counter yields the wrong data —
+// this is the crash-consistency failure mode of Figure 4.
+func TestWrongCounterGarbles(t *testing.T) {
+	c := newCipher(t)
+	var data [config.LineSize]byte
+	copy(data[:], "persistent payload")
+	enc := XorLine(data, OTP(c, 4096, 0, 3))
+	dec := XorLine(enc, OTP(c, 4096, 0, 4)) // stale/advanced minor
+	if dec == data {
+		t.Fatal("wrong counter still decrypted correctly")
+	}
+}
+
+func TestOTPDeterministic(t *testing.T) {
+	c := newCipher(t)
+	if OTP(c, 64, 9, 9) != OTP(c, 64, 9, 9) {
+		t.Fatal("OTP not deterministic")
+	}
+}
+
+func TestLineIndex(t *testing.T) {
+	cases := []struct {
+		addr uint64
+		want int
+	}{
+		{0, 0}, {63, 0}, {64, 1}, {4032, 63}, {4095, 63}, {4096, 0}, {4096 + 128, 2},
+	}
+	for _, c := range cases {
+		if got := LineIndex(c.addr); got != c.want {
+			t.Errorf("LineIndex(%d) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+}

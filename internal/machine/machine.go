@@ -1,0 +1,459 @@
+// Package machine is the functional (byte-accurate) model of a secure
+// persistent memory machine. Where internal/core models *time*, this
+// package models *state*: lines in NVM really are encrypted with
+// AES-derived one-time pads under split counters, CPU caches and the
+// counter cache really are volatile, and the ADR write queue really is
+// the persistence boundary. A crash discards volatile state, and
+// decrypting with a stale counter really produces garbage — so the
+// recoverability results of Table 1 and the atomicity argument of
+// Figure 7 are observed behaviours, not assertions.
+package machine
+
+import (
+	"fmt"
+
+	"supermem/internal/aes"
+	"supermem/internal/config"
+	"supermem/internal/ctr"
+)
+
+// Mode selects the persistence design of the machine. It is richer than
+// config.Scheme because crash behaviour distinguishes variants that
+// perform identically (battery vs no battery) and the paper's register
+// ablation.
+type Mode int
+
+const (
+	// Unencrypted stores plaintext in NVM: the crash-consistency
+	// baseline with no counters at all.
+	Unencrypted Mode = iota
+	// WTRegister is SuperMem's design: a write-through counter cache
+	// whose data+counter pair is appended to the ADR write queue
+	// atomically through the two-line register (Figure 7).
+	WTRegister
+	// WTNoRegister is the broken strawman of Figure 6: the counter is
+	// appended to the write queue before its data, leaving a window
+	// where a crash persists the new counter but not the data.
+	WTNoRegister
+	// WBBattery is the ideal write-back counter cache with a full
+	// battery backup: dirty counters are flushed to NVM on power loss.
+	WBBattery
+	// WBNoBattery is a write-back counter cache without battery: dirty
+	// counters in the volatile counter cache are lost on a crash.
+	WBNoBattery
+	// Osiris relaxes counter persistence (Ye et al., the paper's
+	// related-work alternative): counters persist every few updates and
+	// lost values are recovered after a crash by probing candidate
+	// counters against each line's integrity tag. See osiris.go.
+	Osiris
+)
+
+var modeNames = map[Mode]string{
+	Unencrypted:  "Unencrypted",
+	WTRegister:   "WT+Register",
+	WTNoRegister: "WT-NoRegister",
+	WBBattery:    "WB+Battery",
+	WBNoBattery:  "WB-NoBattery",
+	Osiris:       "Osiris",
+}
+
+// String names the mode.
+func (m Mode) String() string {
+	if n, ok := modeNames[m]; ok {
+		return n
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Encrypted reports whether the mode encrypts NVM contents.
+func (m Mode) Encrypted() bool { return m != Unencrypted }
+
+type line = [config.LineSize]byte
+
+// Machine is a functional secure-PM machine.
+type Machine struct {
+	mode   Mode
+	cipher *aes.Cipher
+
+	// nvmData holds persisted data lines: ciphertext under encrypted
+	// modes, plaintext under Unencrypted. Absent lines read as zero
+	// (and decrypt as XOR of zero with the pad, like real NVM would).
+	nvmData map[uint64]line
+	// nvmCtr holds the persisted counter line of each page.
+	nvmCtr map[uint64]ctr.Line
+	// nvmTag holds each line's integrity tag (standing in for ECC bits)
+	// under the Osiris mode.
+	nvmTag map[uint64]uint32
+	// osirisProbes counts candidate decryptions performed by counter
+	// recovery.
+	osirisProbes int
+
+	// cpuCache holds dirty plaintext lines not yet flushed (volatile).
+	cpuCache map[uint64]line
+	// ctrCache holds the current counters (volatile under write-back
+	// without battery; continuously persisted under write-through).
+	ctrCache *ctr.Store
+	// ctrDirty marks pages whose current counter differs from nvmCtr
+	// (write-back modes).
+	ctrDirty map[uint64]bool
+
+	// rsr is the ADR-protected re-encryption status register
+	// (Section 3.4.4); nil when no re-encryption is in flight.
+	rsr *rsrState
+
+	// Crash injection: persists counts persistence micro-steps; when it
+	// reaches crashAt the machine powers off mid-operation.
+	persists int
+	crashAt  int // -1 = never
+	crashed  bool
+}
+
+// rsrState is the 20-byte RSR: page number, the page's old major
+// counter, and a done bit per line.
+type rsrState struct {
+	page     uint64
+	oldMajor uint64
+	oldLine  ctr.Line // old minors (still persisted in nvmCtr until completion)
+	done     [config.LinesPerPage]bool
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithCrashAtPersist arranges a power failure immediately before the
+// n-th persistence micro-step (0-based). Each atomic append to the ADR
+// write queue is one step: a data+counter pair through the register is
+// one step, but without the register the counter and data appends are
+// separate steps — which is exactly the vulnerable window.
+func WithCrashAtPersist(n int) Option {
+	return func(m *Machine) { m.crashAt = n }
+}
+
+// New builds a machine. The key seeds the AES engine; any 16 bytes.
+func New(mode Mode, key []byte, opts ...Option) (*Machine, error) {
+	cipher, err := aes.New(key)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		mode:     mode,
+		cipher:   cipher,
+		nvmData:  make(map[uint64]line),
+		nvmCtr:   make(map[uint64]ctr.Line),
+		nvmTag:   make(map[uint64]uint32),
+		cpuCache: make(map[uint64]line),
+		ctrCache: ctr.NewStore(),
+		ctrDirty: make(map[uint64]bool),
+		crashAt:  -1,
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// Mode returns the machine's persistence mode.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// Crashed reports whether the machine has powered off. All operations
+// on a crashed machine are no-ops; call Recover to boot the successor.
+func (m *Machine) Crashed() bool { return m.crashed }
+
+// Persists returns the number of persistence micro-steps performed so
+// far; crash-point enumeration sweeps [0, Persists()] of a clean run.
+func (m *Machine) Persists() int { return m.persists }
+
+// ArmCrashAtPersist arranges a power failure immediately before the
+// n-th persistence micro-step from now (0 = the very next persist).
+// Unlike WithCrashAtPersist it can be called mid-run, e.g. after setup
+// writes that should not count toward the crash sweep.
+func (m *Machine) ArmCrashAtPersist(n int) { m.crashAt = m.persists + n }
+
+// stepPersist consumes one persistence micro-step, crashing if the
+// injection point has arrived. It reports whether the step may proceed.
+func (m *Machine) stepPersist() bool {
+	if m.crashed {
+		return false
+	}
+	if m.crashAt >= 0 && m.persists == m.crashAt {
+		m.crashed = true
+		return false
+	}
+	m.persists++
+	return true
+}
+
+// Store writes bytes at addr through the CPU cache (volatile until
+// flushed). It may span lines.
+func (m *Machine) Store(addr uint64, data []byte) {
+	if m.crashed {
+		return
+	}
+	for len(data) > 0 {
+		base := addr &^ (config.LineSize - 1)
+		off := int(addr - base)
+		n := config.LineSize - off
+		if n > len(data) {
+			n = len(data)
+		}
+		l := m.loadLine(base)
+		copy(l[off:off+n], data[:n])
+		m.cpuCache[base] = l
+		addr += uint64(n)
+		data = data[n:]
+	}
+}
+
+// Load reads n bytes at addr from the current (cache-coherent) view.
+func (m *Machine) Load(addr uint64, n int) []byte {
+	out := make([]byte, n)
+	if m.crashed {
+		return out
+	}
+	for i := 0; i < n; {
+		base := (addr + uint64(i)) &^ (config.LineSize - 1)
+		off := int(addr + uint64(i) - base)
+		l := m.loadLine(base)
+		c := copy(out[i:], l[off:])
+		i += c
+	}
+	return out
+}
+
+// loadLine returns the plaintext view of one line.
+func (m *Machine) loadLine(base uint64) line {
+	if l, ok := m.cpuCache[base]; ok {
+		return l
+	}
+	return m.decryptNVM(base)
+}
+
+// decryptNVM reads a line from NVM and decrypts it with the *current*
+// counter (which after a crash is whatever was persisted). A wrong
+// counter silently produces garbage — the failure mode this whole paper
+// is about.
+func (m *Machine) decryptNVM(base uint64) line {
+	raw := m.nvmData[base]
+	if !m.mode.Encrypted() {
+		return raw
+	}
+	page := base / config.PageSize
+	cl := m.currentCounter(page)
+	li := ctr.LineIndex(base)
+	pad := ctr.OTP(m.cipher, base, cl.Major, cl.Minors[li])
+	return ctr.XorLine(raw, pad)
+}
+
+// currentCounter returns the live counter line of a page: the counter
+// cache's copy if present, else the persisted copy.
+func (m *Machine) currentCounter(page uint64) ctr.Line {
+	if l, ok := m.ctrCache.Peek(page); ok {
+		return l
+	}
+	if l, ok := m.nvmCtr[page]; ok {
+		m.ctrCache.Set(page, l)
+		return l
+	}
+	return ctr.Line{}
+}
+
+// CLWB flushes the line containing addr to NVM through the secure write
+// path of the machine's mode. A clean (unmodified) line is a no-op, as
+// in hardware.
+func (m *Machine) CLWB(addr uint64) {
+	if m.crashed {
+		return
+	}
+	base := addr &^ (config.LineSize - 1)
+	plain, dirty := m.cpuCache[base]
+	if !dirty {
+		return
+	}
+	if !m.mode.Encrypted() {
+		if !m.stepPersist() {
+			return
+		}
+		m.nvmData[base] = plain
+		delete(m.cpuCache, base)
+		return
+	}
+
+	if m.mode == Osiris {
+		m.osirisCLWB(base, plain)
+		return
+	}
+
+	page := base / config.PageSize
+	cl := m.currentCounter(page)
+	li := ctr.LineIndex(base)
+	if cl.Minors[li] == ctr.MinorMax {
+		// Minor overflow: re-encrypt the page under major+1 before the
+		// triggering write proceeds (Section 3.4.4).
+		if !m.reencryptPage(page) {
+			return // crashed mid-re-encryption; RSR holds the state
+		}
+		cl = m.currentCounter(page)
+	}
+	cl.Bump(li)
+	m.ctrCache.Set(page, cl)
+	pad := ctr.OTP(m.cipher, base, cl.Major, cl.Minors[li])
+	cipherText := ctr.XorLine(plain, pad)
+
+	switch m.mode {
+	case WTRegister:
+		// The register appends data and counter atomically: one step.
+		if !m.stepPersist() {
+			return
+		}
+		m.nvmData[base] = cipherText
+		m.nvmCtr[page] = cl
+	case WTNoRegister:
+		// Figure 6: counter first, then data — two separate steps with
+		// a crash window between them.
+		if !m.stepPersist() {
+			return
+		}
+		m.nvmCtr[page] = cl
+		if !m.stepPersist() {
+			return
+		}
+		m.nvmData[base] = cipherText
+	case WBBattery, WBNoBattery:
+		// Data goes to NVM; the counter stays dirty in the volatile
+		// counter cache.
+		if !m.stepPersist() {
+			return
+		}
+		m.nvmData[base] = cipherText
+		m.ctrDirty[page] = true
+	default:
+		panic(fmt.Sprintf("machine: unhandled mode %v", m.mode))
+	}
+	delete(m.cpuCache, base)
+}
+
+// SFence is ordering only: the machine applies operations in program
+// order already, so it is a semantic no-op kept for API parity.
+func (m *Machine) SFence() {}
+
+// reencryptPage re-encrypts every line of a page under major+1 with
+// zeroed minors, tracked by the ADR-protected RSR. Each line rewrite is
+// one persistence step; the final counter-line persist is another. It
+// reports false if the machine crashed partway (the RSR stays armed).
+func (m *Machine) reencryptPage(page uint64) bool {
+	old := m.currentCounter(page)
+	m.rsr = &rsrState{page: page, oldMajor: old.Major, oldLine: old}
+	newLine := ctr.Line{Major: old.Major + 1}
+	base := page * config.PageSize
+	for i := 0; i < config.LinesPerPage; i++ {
+		la := base + uint64(i)*config.LineSize
+		// Plaintext of the line under the old counter (or the dirty
+		// cached copy).
+		plain := m.loadLine(la)
+		pad := ctr.OTP(m.cipher, la, newLine.Major, 0)
+		if !m.stepPersist() {
+			return false
+		}
+		m.nvmData[la] = ctr.XorLine(plain, pad)
+		m.rsr.done[i] = true
+		// A cached dirty copy has now been persisted as part of the
+		// sweep; drop it so later reads come from NVM consistently.
+		delete(m.cpuCache, la)
+	}
+	if !m.stepPersist() {
+		return false
+	}
+	m.nvmCtr[page] = newLine
+	m.ctrCache.Set(page, newLine)
+	delete(m.ctrDirty, page)
+	m.rsr = nil
+	return true
+}
+
+// FlushCounters persists every dirty counter line, as if the write-back
+// counter cache had evicted them during an idle period. Table 1's
+// premise — that the counters protecting *old* data are correct — holds
+// only after such a flush, so the crash harness calls this between the
+// setup transaction and the transaction under test.
+func (m *Machine) FlushCounters() {
+	if m.crashed {
+		return
+	}
+	for page := range m.ctrDirty {
+		if l, ok := m.ctrCache.Peek(page); ok {
+			m.nvmCtr[page] = l
+		}
+	}
+	m.ctrDirty = make(map[uint64]bool)
+}
+
+// Crash powers the machine off immediately (equivalent to reaching the
+// injected crash point).
+func (m *Machine) Crash() { m.crashed = true }
+
+// Recover boots the successor machine from the persistent domain: NVM
+// plus whatever ADR and the battery (if any) preserved. Volatile CPU
+// caches and (without battery) dirty counters are gone. The RSR, being
+// ADR-protected, survives and finishes any in-flight page
+// re-encryption (Section 3.4.4).
+func (m *Machine) Recover() *Machine {
+	n := &Machine{
+		mode:     m.mode,
+		cipher:   m.cipher,
+		nvmData:  make(map[uint64]line, len(m.nvmData)),
+		nvmCtr:   make(map[uint64]ctr.Line, len(m.nvmCtr)),
+		nvmTag:   make(map[uint64]uint32, len(m.nvmTag)),
+		cpuCache: make(map[uint64]line),
+		ctrCache: ctr.NewStore(),
+		ctrDirty: make(map[uint64]bool),
+		crashAt:  -1,
+	}
+	for a, l := range m.nvmData {
+		n.nvmData[a] = l
+	}
+	for p, l := range m.nvmCtr {
+		n.nvmCtr[p] = l
+	}
+	for a, t := range m.nvmTag {
+		n.nvmTag[a] = t
+	}
+	if m.mode == WBBattery {
+		// The battery flushes every dirty counter line on power loss.
+		for page := range m.ctrDirty {
+			if l, ok := m.ctrCache.Peek(page); ok {
+				n.nvmCtr[page] = l
+			}
+		}
+	}
+	if m.rsr != nil {
+		n.finishReencryption(m.rsr)
+	}
+	if m.mode == Osiris {
+		n.recoverOsirisCounters()
+	}
+	return n
+}
+
+// finishReencryption completes an interrupted page re-encryption from
+// the RSR contents: lines already re-encrypted hold (major+1, 0);
+// pending lines still hold their old counters, so they are decrypted
+// with the old counter line and re-encrypted under the new one.
+func (n *Machine) finishReencryption(r *rsrState) {
+	newLine := ctr.Line{Major: r.oldMajor + 1}
+	base := r.page * config.PageSize
+	for i := 0; i < config.LinesPerPage; i++ {
+		la := base + uint64(i)*config.LineSize
+		if r.done[i] {
+			continue
+		}
+		oldPad := ctr.OTP(n.cipher, la, r.oldLine.Major, r.oldLine.Minors[i])
+		plain := ctr.XorLine(n.nvmData[la], oldPad)
+		newPad := ctr.OTP(n.cipher, la, newLine.Major, 0)
+		n.nvmData[la] = ctr.XorLine(plain, newPad)
+	}
+	n.nvmCtr[r.page] = newLine
+}
+
+// DirtyCacheLines returns the number of unflushed CPU cache lines
+// (diagnostics for tests).
+func (m *Machine) DirtyCacheLines() int { return len(m.cpuCache) }

@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWithCrashAtPersistOption(t *testing.T) {
+	m, err := New(WTRegister, testKey, WithCrashAtPersist(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Store(0, []byte("x"))
+	m.CLWB(0) // the very first persist crashes
+	if !m.Crashed() {
+		t.Fatal("WithCrashAtPersist(0) did not crash on the first persist")
+	}
+}
+
+func TestFlushCountersPersistsDirty(t *testing.T) {
+	m := newM(t, WBNoBattery)
+	payload := []byte("now durable")
+	m.Store(0, payload)
+	m.CLWB(0)
+	m.FlushCounters() // as if the cache evicted its dirty lines
+	m.Crash()
+	r := m.Recover()
+	if got := r.Load(0, len(payload)); !bytes.Equal(got, payload) {
+		t.Fatalf("FlushCounters did not persist counters: %q", got)
+	}
+}
+
+func TestFlushCountersOnCrashedMachine(t *testing.T) {
+	m := newM(t, WBNoBattery)
+	m.Store(0, []byte("y"))
+	m.CLWB(0)
+	m.Crash()
+	m.FlushCounters() // must be a no-op after power loss
+	r := m.Recover()
+	if got := r.Load(0, 1); got[0] == 'y' {
+		t.Fatal("FlushCounters ran on a crashed machine")
+	}
+}
+
+func TestSFenceIsNoop(t *testing.T) {
+	m := newM(t, WTRegister)
+	n := m.Persists()
+	m.SFence()
+	if m.Persists() != n {
+		t.Fatal("SFence persisted something")
+	}
+}
+
+func TestModeAccessor(t *testing.T) {
+	m := newM(t, WBBattery)
+	if m.Mode() != WBBattery {
+		t.Fatalf("Mode() = %v", m.Mode())
+	}
+}
+
+func TestLoadOnCrashedMachineReturnsZeros(t *testing.T) {
+	m := newM(t, WTRegister)
+	m.Store(0, []byte("abc"))
+	m.CLWB(0)
+	m.Crash()
+	got := m.Load(0, 3)
+	if !bytes.Equal(got, []byte{0, 0, 0}) {
+		t.Fatalf("crashed Load = %v, want zeros", got)
+	}
+}
+
+func TestUnencryptedOverflowFree(t *testing.T) {
+	// 200 rewrites of one line never trigger re-encryption without
+	// encryption.
+	m := newM(t, Unencrypted)
+	for i := 0; i < 200; i++ {
+		m.Store(0, []byte{byte(i)})
+		m.CLWB(0)
+	}
+	if m.Persists() != 200 {
+		t.Fatalf("Persists = %d, want 200 (one per flush, no re-encryption)", m.Persists())
+	}
+}

@@ -1,0 +1,332 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"supermem/internal/config"
+	"supermem/internal/ctr"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func newM(t testing.TB, mode Mode, opts ...Option) *Machine {
+	t.Helper()
+	m, err := New(mode, testKey, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{Unencrypted, WTRegister, WBNoBattery} {
+		m := newM(t, mode)
+		payload := []byte("hello persistent world")
+		m.Store(4096, payload)
+		if got := m.Load(4096, len(payload)); !bytes.Equal(got, payload) {
+			t.Errorf("%v: Load = %q, want %q", mode, got, payload)
+		}
+	}
+}
+
+func TestStoreSpanningLines(t *testing.T) {
+	m := newM(t, WTRegister)
+	payload := make([]byte, 200) // spans 4 lines from offset 30
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	m.Store(4096+30, payload)
+	if got := m.Load(4096+30, len(payload)); !bytes.Equal(got, payload) {
+		t.Fatal("cross-line store/load mismatch")
+	}
+}
+
+func TestFlushedDataSurvivesCrash(t *testing.T) {
+	for _, mode := range []Mode{Unencrypted, WTRegister, WBBattery} {
+		m := newM(t, mode)
+		payload := []byte("durable bytes")
+		m.Store(8192, payload)
+		m.CLWB(8192)
+		m.SFence()
+		m.Crash()
+		r := m.Recover()
+		if got := r.Load(8192, len(payload)); !bytes.Equal(got, payload) {
+			t.Errorf("%v: after crash Load = %q, want %q", mode, got, payload)
+		}
+	}
+}
+
+func TestUnflushedDataLostOnCrash(t *testing.T) {
+	m := newM(t, WTRegister)
+	m.Store(8192, []byte("going going gone"))
+	// No CLWB.
+	m.Crash()
+	r := m.Recover()
+	if got := r.Load(8192, 16); bytes.Equal(got, []byte("going going gone")) {
+		t.Fatal("unflushed store survived a crash")
+	}
+}
+
+func TestNVMHoldsCiphertext(t *testing.T) {
+	m := newM(t, WTRegister)
+	payload := []byte("secret payload!!")
+	m.Store(0, payload)
+	m.CLWB(0)
+	raw := m.nvmData[0]
+	if bytes.Contains(raw[:], payload) {
+		t.Fatal("NVM holds plaintext under an encrypted mode — stolen-DIMM attack succeeds")
+	}
+	// Unencrypted mode by contrast leaks everything.
+	u := newM(t, Unencrypted)
+	u.Store(0, payload)
+	u.CLWB(0)
+	rawU := u.nvmData[0]
+	if !bytes.Contains(rawU[:], payload) {
+		t.Fatal("unencrypted NVM does not hold plaintext (model broken)")
+	}
+}
+
+func TestConsecutiveWritesDifferentCiphertext(t *testing.T) {
+	// Counter mode: rewriting identical plaintext must produce a
+	// different ciphertext (defeats the single-line dictionary attack,
+	// Section 2.2.2).
+	m := newM(t, WTRegister)
+	payload := []byte("same same same!!")
+	m.Store(0, payload)
+	m.CLWB(0)
+	first := m.nvmData[0]
+	m.Store(0, payload)
+	m.CLWB(0)
+	second := m.nvmData[0]
+	if first == second {
+		t.Fatal("identical plaintexts encrypted to identical ciphertexts across writes")
+	}
+}
+
+func TestSameContentDifferentLinesDiffer(t *testing.T) {
+	m := newM(t, WTRegister)
+	payload := []byte("identical lines")
+	m.Store(0, payload)
+	m.CLWB(0)
+	m.Store(64, payload)
+	m.CLWB(64)
+	if m.nvmData[0] == m.nvmData[64] {
+		t.Fatal("same content in different lines encrypted identically (dictionary attack)")
+	}
+}
+
+// The headline atomicity result: with the register, every crash point
+// leaves flushed data decryptable; without it, some crash point yields
+// garbage (Figure 6 vs Figure 7).
+func TestRegisterAtomicityWindow(t *testing.T) {
+	payload := []byte("flush me atomically, please now!")
+	old := []byte("old data old data old data old!!")
+	runUntil := func(mode Mode, crashAt int) ([]byte, *Machine) {
+		m := newM(t, mode)
+		// Establish an initial flushed version so "old data" exists,
+		// then arm the crash sweep for the update under test only.
+		m.Store(4096, old)
+		m.CLWB(4096)
+		m.ArmCrashAtPersist(crashAt)
+		m.Store(4096, payload)
+		m.CLWB(4096)
+		r := m.Recover()
+		return r.Load(4096, len(payload)), r
+	}
+
+	// With the register: every crash point gives old or new data.
+	for crashAt := 0; crashAt < 4; crashAt++ {
+		got, _ := runUntil(WTRegister, crashAt)
+		if !bytes.Equal(got, payload) && !bytes.Equal(got, old) {
+			t.Errorf("WTRegister crash@%d: data is neither old nor new: %q", crashAt, got)
+		}
+	}
+
+	// Without the register there must exist a crash point where the
+	// data is garbage (new counter persisted, old data stuck).
+	sawGarbage := false
+	for crashAt := 0; crashAt < 6; crashAt++ {
+		got, _ := runUntil(WTNoRegister, crashAt)
+		if !bytes.Equal(got, payload) && !bytes.Equal(got, old) {
+			sawGarbage = true
+		}
+	}
+	if !sawGarbage {
+		t.Fatal("WTNoRegister: no crash point corrupted the data — the Figure 6 window is not modelled")
+	}
+}
+
+func TestWBNoBatteryLosesCounters(t *testing.T) {
+	m := newM(t, WBNoBattery)
+	payload := []byte("needs its counter")
+	m.Store(0, payload)
+	m.CLWB(0)
+	m.SFence()
+	m.Crash()
+	r := m.Recover()
+	if got := r.Load(0, len(payload)); bytes.Equal(got, payload) {
+		t.Fatal("write-back counters survived a crash without battery")
+	}
+}
+
+func TestWBBatteryPreservesCounters(t *testing.T) {
+	m := newM(t, WBBattery)
+	payload := []byte("battery to the rescue")
+	m.Store(0, payload)
+	m.CLWB(0)
+	m.Crash()
+	r := m.Recover()
+	if got := r.Load(0, len(payload)); !bytes.Equal(got, payload) {
+		t.Fatalf("battery-backed counters lost: got %q", got)
+	}
+}
+
+func TestCleanCLWBIsNoop(t *testing.T) {
+	m := newM(t, WTRegister)
+	m.Store(0, []byte("x"))
+	m.CLWB(0)
+	n := m.Persists()
+	m.CLWB(0) // clean now
+	if m.Persists() != n {
+		t.Fatal("clean CLWB persisted something")
+	}
+}
+
+func TestCrashedMachineIsInert(t *testing.T) {
+	m := newM(t, WTRegister)
+	m.Store(0, []byte("a"))
+	m.Crash()
+	if !m.Crashed() {
+		t.Fatal("Crashed() false after Crash()")
+	}
+	m.Store(64, []byte("b"))
+	m.CLWB(64)
+	r := m.Recover()
+	if got := r.Load(64, 1); got[0] == 'b' {
+		t.Fatal("post-crash store took effect")
+	}
+}
+
+func TestMinorOverflowReencryptsAndStaysReadable(t *testing.T) {
+	m := newM(t, WTRegister)
+	neighbour := []byte("neighbour line under old minor!!")
+	m.Store(64, neighbour)
+	m.CLWB(64)
+	// Hammer line 0 of the same page past the 7-bit minor limit.
+	for i := 0; i <= ctr.MinorMax+5; i++ {
+		m.Store(0, []byte{byte(i)})
+		m.CLWB(0)
+	}
+	// After the overflow-triggered page re-encryption, both lines must
+	// still read correctly, before and after a crash.
+	if got := m.Load(0, 1); got[0] != byte(ctr.MinorMax+5) {
+		t.Fatalf("hammered line reads %d", got[0])
+	}
+	if got := m.Load(64, len(neighbour)); !bytes.Equal(got, neighbour) {
+		t.Fatalf("neighbour corrupted by re-encryption: %q", got)
+	}
+	m.Crash()
+	r := m.Recover()
+	if got := r.Load(64, len(neighbour)); !bytes.Equal(got, neighbour) {
+		t.Fatalf("neighbour corrupted after crash: %q", got)
+	}
+	if got := r.Load(0, 1); got[0] != byte(ctr.MinorMax+5) {
+		t.Fatalf("hammered line reads %d after crash", got[0])
+	}
+	// And the page's counter really did roll its major.
+	if cl := r.nvmCtr[0]; cl.Major != 1 {
+		t.Fatalf("major counter = %d after overflow, want 1", cl.Major)
+	}
+}
+
+// Every crash point inside a page re-encryption must be recoverable via
+// the ADR-protected RSR (Section 3.4.4).
+func TestReencryptionCrashRecoverableAtEveryStep(t *testing.T) {
+	// prep writes every line of page 0 and then drives line 0's minor
+	// counter to its maximum, so the NEXT flush of line 0 re-encrypts.
+	prep := func() *Machine {
+		m := newM(t, WTRegister)
+		for i := 0; i < config.LinesPerPage; i++ {
+			m.Store(uint64(i*config.LineSize), []byte{byte(i), byte(i + 1)})
+			m.CLWB(uint64(i * config.LineSize))
+		}
+		for i := 1; i < ctr.MinorMax; i++ { // minor: 1 -> 127
+			m.Store(0, []byte{0xAA})
+			m.CLWB(0)
+		}
+		return m
+	}
+	base := prep()
+	atLimit := base.Persists()
+	// The next CLWB triggers re-encryption: 64 line steps + 1 counter
+	// step + 1 pair step for the triggering write itself.
+	base.Store(0, []byte{0xBB})
+	base.CLWB(0)
+	totalAfter := base.Persists()
+	if totalAfter-atLimit != config.LinesPerPage+2 {
+		t.Fatalf("re-encryption consumed %d persists, want %d", totalAfter-atLimit, config.LinesPerPage+2)
+	}
+
+	for crashAt := 0; crashAt < totalAfter-atLimit; crashAt++ {
+		m := prep()
+		m.ArmCrashAtPersist(crashAt)
+		m.Store(0, []byte{0xBB})
+		m.CLWB(0)
+		r := m.Recover()
+		// Every *other* line of the page must still be readable.
+		for i := 1; i < config.LinesPerPage; i++ {
+			got := r.Load(uint64(i*config.LineSize), 2)
+			if got[0] != byte(i) || got[1] != byte(i+1) {
+				t.Fatalf("crash@%d: line %d corrupted: %v", crashAt, i, got[:2])
+			}
+		}
+		// Line 0 must be one of its legal values (0xAA or 0xBB).
+		got := r.Load(0, 1)
+		if got[0] != 0xAA && got[0] != 0xBB {
+			t.Fatalf("crash@%d: line 0 is garbage: %#x", crashAt, got[0])
+		}
+	}
+}
+
+func TestRecoverIsDeepCopy(t *testing.T) {
+	m := newM(t, WTRegister)
+	m.Store(0, []byte("v1"))
+	m.CLWB(0)
+	m.Crash()
+	r := m.Recover()
+	r.Store(0, []byte("v2"))
+	r.CLWB(0)
+	r2 := m.Recover() // recover the ORIGINAL again
+	if got := r2.Load(0, 2); !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("second recovery sees %q — recovery aliases state", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if WTRegister.String() != "WT+Register" || Mode(99).String() == "" {
+		t.Fatal("mode names broken")
+	}
+	if Unencrypted.Encrypted() || !WBNoBattery.Encrypted() {
+		t.Fatal("Encrypted() wrong")
+	}
+}
+
+func TestDirtyCacheLines(t *testing.T) {
+	m := newM(t, WTRegister)
+	m.Store(0, []byte("a"))
+	m.Store(64, []byte("b"))
+	if m.DirtyCacheLines() != 2 {
+		t.Fatalf("DirtyCacheLines = %d, want 2", m.DirtyCacheLines())
+	}
+	m.CLWB(0)
+	if m.DirtyCacheLines() != 1 {
+		t.Fatalf("DirtyCacheLines = %d after flush, want 1", m.DirtyCacheLines())
+	}
+}
+
+func TestBadKey(t *testing.T) {
+	if _, err := New(WTRegister, []byte("short")); err == nil {
+		t.Fatal("New accepted a short key")
+	}
+}

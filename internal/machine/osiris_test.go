@@ -1,0 +1,120 @@
+package machine
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestOsirisSurvivesCrashWithUnpersistedCounters(t *testing.T) {
+	m := newM(t, Osiris)
+	payload := []byte("recover me via counter probing!!")
+	// Three flushes: minors end at 3, last stop-loss persist at 0 (the
+	// counter line was never written for minors 1..3).
+	for i := 0; i < 3; i++ {
+		m.Store(4096, payload)
+		m.CLWB(4096)
+	}
+	m.Crash()
+	r := m.Recover()
+	if got := r.Load(4096, len(payload)); !bytes.Equal(got, payload) {
+		t.Fatalf("Osiris recovery failed: %q", got)
+	}
+	if r.OsirisProbes() == 0 {
+		t.Fatal("recovery succeeded without probing — counters were not actually lost")
+	}
+}
+
+func TestOsirisStopLossBoundsCounterWrites(t *testing.T) {
+	m := newM(t, Osiris)
+	for i := 0; i < osirisStopLoss; i++ {
+		m.Store(0, []byte{byte(i)})
+		m.CLWB(0)
+	}
+	// Flushes persist data each time but the counter only at the
+	// stop-loss boundary: persists = stopLoss data + 1 counter.
+	if got := m.Persists(); got != osirisStopLoss+1 {
+		t.Fatalf("Persists = %d, want %d", got, osirisStopLoss+1)
+	}
+}
+
+func TestOsirisEveryCrashPointRecovers(t *testing.T) {
+	payload := func(i int) []byte { return []byte(fmt.Sprintf("version %02d of the line......", i)) }
+	// Count persists of the update run.
+	probe := newM(t, Osiris)
+	for i := 0; i < 10; i++ {
+		probe.Store(4096, payload(i))
+		probe.CLWB(4096)
+	}
+	total := probe.Persists()
+
+	for crashAt := 0; crashAt < total; crashAt++ {
+		m := newM(t, Osiris)
+		m.ArmCrashAtPersist(crashAt)
+		for i := 0; i < 10 && !m.Crashed(); i++ {
+			m.Store(4096, payload(i))
+			m.CLWB(4096)
+		}
+		r := m.Recover()
+		got := r.Load(4096, len(payload(0)))
+		ok := false
+		for i := 0; i < 10; i++ {
+			if bytes.Equal(got, payload(i)) {
+				ok = true
+				break
+			}
+		}
+		// Before the first persist the line was never written: zeroes
+		// region reads as garbage but there is no committed version to
+		// lose.
+		if crashAt == 0 {
+			continue
+		}
+		if !ok {
+			t.Fatalf("crash@%d: line is no persisted version: %q", crashAt, got)
+		}
+	}
+}
+
+// Recovery cost scales with the number of lines written — the paper's
+// related-work critique of Osiris (Section 6).
+func TestOsirisRecoveryCostScales(t *testing.T) {
+	probesFor := func(lines int) int {
+		m := newM(t, Osiris)
+		for i := 0; i < lines; i++ {
+			addr := uint64(i) * 64
+			m.Store(addr, []byte{byte(i), 1, 2, 3})
+			m.CLWB(addr)
+			m.Store(addr, []byte{byte(i), 4, 5, 6}) // second write: counter unpersisted
+			m.CLWB(addr)
+		}
+		m.Crash()
+		r := m.Recover()
+		return r.OsirisProbes()
+	}
+	small := probesFor(8)
+	large := probesFor(64)
+	if large <= small {
+		t.Fatalf("recovery probes did not scale with footprint: %d vs %d", small, large)
+	}
+	if large < 64 {
+		t.Fatalf("recovery probed %d times for 64 stale lines", large)
+	}
+}
+
+func TestOsirisModeName(t *testing.T) {
+	if Osiris.String() != "Osiris" || !Osiris.Encrypted() {
+		t.Fatal("Osiris mode metadata wrong")
+	}
+}
+
+func TestOsirisCiphertextInNVM(t *testing.T) {
+	m := newM(t, Osiris)
+	secret := []byte("top secret osiris")
+	m.Store(0, secret)
+	m.CLWB(0)
+	raw := m.nvmData[0]
+	if bytes.Contains(raw[:], secret) {
+		t.Fatal("Osiris NVM holds plaintext")
+	}
+}

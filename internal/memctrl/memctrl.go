@@ -1,0 +1,270 @@
+// Package memctrl models the NVM memory controller's write path: the
+// ADR-protected write queue, lazy per-bank issue (an entry is sent to
+// its bank only once the bank is free), read priority, and the paper's
+// locality-aware counter write coalescing (CWC, Section 3.4.3).
+//
+// Because the write queue sits inside the ADR persistent domain, a cache
+// line flush is durable the moment it is *accepted* into the queue; a
+// core therefore stalls only while the queue is full. CWC exploits lazy
+// issue: a newly accepted counter line supersedes any not-yet-issued
+// counter entry with the same address, which is simply removed.
+package memctrl
+
+import (
+	"fmt"
+
+	"supermem/internal/nvm"
+	"supermem/internal/sim"
+	"supermem/internal/stats"
+)
+
+// Entry is one write-queue element: a line write plus the one-bit flag
+// distinguishing counter lines from CPU cache lines (Section 3.4.3).
+type Entry struct {
+	Addr    uint64
+	Counter bool
+}
+
+// issueWindow is how many of the oldest un-issued entries the scheduler
+// examines per pass.
+const issueWindow = 8
+
+type queued struct {
+	Entry
+	issued bool
+}
+
+type waiter struct {
+	entries []Entry
+	accept  func(now uint64)
+}
+
+// Controller is the memory controller write path.
+//
+// Writes drain lazily between a high and a low watermark, as real
+// controllers do to keep banks available for reads: issuing starts when
+// occupancy reaches hiWM (or a core is stalled) and stops once it falls
+// to loWM. The laziness is what gives CWC its window — a counter line
+// rewritten while its predecessor still sits un-issued simply replaces
+// it (Section 3.4.3).
+type Controller struct {
+	eng      *sim.Engine
+	dev      *nvm.Device
+	capacity int
+	cwc      bool
+	queue    []*queued
+	waiters  []waiter
+	m        *stats.Metrics
+	draining bool
+	forced   bool // end-of-run flush: drain everything regardless
+	hiWM     int
+	loWM     int
+	// retryAt[b] is the time of the already-scheduled issue retry for
+	// bank b, used to avoid flooding the event queue when reads keep a
+	// bank busy. Zero means none scheduled.
+	retryAt []uint64
+}
+
+// New builds a controller over the device. Capacity must be at least 2:
+// a flush appends a data line and its counter line atomically, so a
+// single-slot queue could never accept one.
+func New(eng *sim.Engine, dev *nvm.Device, capacity int, cwc bool, m *stats.Metrics) *Controller {
+	if capacity < 2 {
+		panic(fmt.Sprintf("memctrl: write queue capacity %d < 2 cannot hold an atomic data+counter pair", capacity))
+	}
+	hi := capacity * 3 / 4
+	if hi < 2 {
+		hi = 2
+	}
+	lo := capacity / 8
+	return &Controller{
+		eng:      eng,
+		dev:      dev,
+		capacity: capacity,
+		cwc:      cwc,
+		m:        m,
+		hiWM:     hi,
+		loWM:     lo,
+		retryAt:  make([]uint64, dev.Banks()),
+	}
+}
+
+// Len returns the current write queue occupancy.
+func (c *Controller) Len() int { return len(c.queue) }
+
+// Capacity returns the configured queue capacity.
+func (c *Controller) Capacity() int { return c.capacity }
+
+// PendingWaiters returns the number of cores stalled on a full queue.
+func (c *Controller) PendingWaiters() int { return len(c.waiters) }
+
+// Enqueue appends entries to the write queue atomically: either all of
+// them enter together or the caller waits. accept is invoked (possibly
+// immediately, re-entrantly) with the cycle at which the entries were
+// accepted — that is the durability point under ADR. Entries must hold
+// one or two lines (a bare write, or a data+counter pair from the
+// register of Figure 7).
+func (c *Controller) Enqueue(now uint64, entries []Entry, accept func(now uint64)) {
+	if len(entries) == 0 || len(entries) > 2 {
+		panic(fmt.Sprintf("memctrl: enqueue of %d entries; the register holds at most a data+counter pair", len(entries)))
+	}
+	if len(c.waiters) == 0 && c.fits(entries) {
+		c.admit(now, entries)
+		accept(now)
+		return
+	}
+	c.waiters = append(c.waiters, waiter{entries: entries, accept: accept})
+}
+
+// fits reports whether entries can be admitted now, accounting for the
+// slots CWC would free.
+func (c *Controller) fits(entries []Entry) bool {
+	free := c.capacity - len(c.queue)
+	if c.cwc {
+		for _, e := range entries {
+			if e.Counter && c.findCoalescible(e.Addr) >= 0 {
+				free++
+			}
+		}
+	}
+	return free >= len(entries)
+}
+
+// findCoalescible returns the index of a not-yet-issued counter entry
+// with the given address, or -1. The counter flag check makes the scan
+// cheap in hardware (only flagged entries are compared).
+func (c *Controller) findCoalescible(addr uint64) int {
+	for i, q := range c.queue {
+		if q.Counter && !q.issued && q.Addr == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// admit inserts entries, applying CWC removal first.
+func (c *Controller) admit(now uint64, entries []Entry) {
+	for _, e := range entries {
+		if c.cwc && e.Counter {
+			if i := c.findCoalescible(e.Addr); i >= 0 {
+				// Remove the superseded earlier counter write: the new
+				// line contains strictly newer contents (Figure 12),
+				// and removing the former rather than merging into it
+				// delays the write so more coalescing can happen.
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				c.m.CoalescedWrites++
+			}
+		}
+		c.queue = append(c.queue, &queued{Entry: e})
+	}
+	if len(c.queue) > c.capacity {
+		panic("memctrl: write queue over capacity")
+	}
+	c.tryIssue(now)
+}
+
+// tryIssue scans the queue in arrival order and sends every entry whose
+// bank is idle to the device (FR-FCFS-style, no head-of-line blocking
+// across banks), respecting the drain watermarks.
+func (c *Controller) tryIssue(now uint64) {
+	// Update drain state: start at the high watermark or whenever a
+	// core is stalled on a full queue; stop at the low watermark.
+	if !c.draining && (len(c.queue) >= c.hiWM || len(c.waiters) > 0 || c.forced) {
+		c.draining = true
+	}
+	if c.draining && len(c.queue) <= c.loWM && len(c.waiters) == 0 && !c.forced {
+		c.draining = false
+	}
+	if !c.draining {
+		return
+	}
+	// The scheduler examines only the oldest issueWindow un-issued
+	// entries (FR-FCFS over a window, as real controllers do). A CWC
+	// survivor re-inserted at the tail therefore keeps riding ahead of
+	// the window while its line keeps being rewritten — the "delay the
+	// counter cache line write for merging more writes" of
+	// Section 3.4.3.
+	examined := 0
+	for _, q := range c.queue {
+		if q.issued {
+			continue
+		}
+		if examined >= issueWindow {
+			break
+		}
+		examined++
+		bank := c.dev.Layout().BankOf(q.Addr)
+		if !c.dev.BankFree(bank, now) {
+			c.scheduleRetry(bank)
+			continue
+		}
+		q.issued = true
+		done := c.dev.WriteLine(now, q.Addr)
+		if q.Counter {
+			c.m.CounterWrites++
+		} else {
+			c.m.DataWrites++
+		}
+		qq := q
+		c.eng.At(done, func(at uint64) { c.retire(at, qq) })
+	}
+}
+
+// scheduleRetry arms one issue retry at the moment the bank frees, if
+// none is already armed for that time or earlier.
+func (c *Controller) scheduleRetry(bank int) {
+	freeAt := c.dev.BankFreeAt(bank)
+	if c.retryAt[bank] != 0 && c.retryAt[bank] <= freeAt {
+		return
+	}
+	c.retryAt[bank] = freeAt
+	c.eng.At(freeAt, func(at uint64) {
+		if c.retryAt[bank] == at {
+			c.retryAt[bank] = 0
+		}
+		c.tryIssue(at)
+	})
+}
+
+// retire removes a completed entry from the queue, admits waiters that
+// now fit, and keeps the drain going.
+func (c *Controller) retire(now uint64, q *queued) {
+	for i, e := range c.queue {
+		if e == q {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			break
+		}
+	}
+	// Admit stalled flushes in arrival order while they fit.
+	for len(c.waiters) > 0 && c.fits(c.waiters[0].entries) {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		c.admit(now, w.entries)
+		w.accept(now)
+	}
+	c.tryIssue(now)
+}
+
+// ReadLine services a line read at the device with priority over queued
+// (un-issued) writes: it reserves the bank immediately and pushes lazy
+// write issue behind it. The returned time is when the line's data is
+// available.
+func (c *Controller) ReadLine(now, addr uint64) (done uint64) {
+	done = c.dev.ReadLine(now, addr)
+	c.m.NVMReads++
+	bank := c.dev.Layout().BankOf(addr)
+	c.scheduleRetry(bank) // writes blocked behind this read resume at done
+	return done
+}
+
+// Drained reports whether the queue and waiters are empty (used by runs
+// to let the tail of the write stream complete).
+func (c *Controller) Drained() bool { return len(c.queue) == 0 && len(c.waiters) == 0 }
+
+// Flush forces the controller to drain everything currently queued and
+// anything enqueued afterwards — the end-of-run write-back of a
+// simulation.
+func (c *Controller) Flush(now uint64) {
+	c.forced = true
+	c.tryIssue(now)
+}

@@ -1,0 +1,341 @@
+package memctrl
+
+import (
+	"testing"
+
+	"supermem/internal/config"
+	"supermem/internal/nvm"
+	"supermem/internal/sim"
+	"supermem/internal/stats"
+)
+
+type rig struct {
+	eng *sim.Engine
+	dev *nvm.Device
+	m   *stats.Metrics
+	c   *Controller
+	l   nvm.Layout
+}
+
+func newRig(t testing.TB, capacity int, cwc bool) *rig {
+	t.Helper()
+	cfg := config.Default()
+	cfg.MemBytes = 1 << 20
+	eng := &sim.Engine{}
+	dev := nvm.NewDevice(cfg)
+	m := &stats.Metrics{}
+	return &rig{eng: eng, dev: dev, m: m, c: New(eng, dev, capacity, cwc, m), l: dev.Layout()}
+}
+
+// enq enqueues; the returned pointers observe the acceptance time and
+// flag once the engine fires the callback.
+func (r *rig) enq(now uint64, entries ...Entry) (acceptedAt *uint64, accepted *bool) {
+	at := new(uint64)
+	done := false
+	r.c.Enqueue(now, entries, func(n uint64) { *at = n; done = true })
+	return at, &done
+}
+
+func (r *rig) data(bank int, line uint64) Entry {
+	return Entry{Addr: r.l.BankBase(bank) + line*config.LineSize}
+}
+
+func (r *rig) ctr(bank int, line uint64) Entry {
+	return Entry{Addr: r.l.BankBase(bank) + line*config.LineSize, Counter: true}
+}
+
+func TestImmediateAccept(t *testing.T) {
+	r := newRig(t, 4, false)
+	at, ok := r.enq(10, r.data(0, 0))
+	if !*ok || *at != 10 {
+		t.Fatalf("accept = %v at %d, want immediate at 10", *ok, *at)
+	}
+	// Below the high watermark the write is held lazily.
+	r.eng.Run()
+	if r.m.DataWrites != 0 {
+		t.Fatalf("lazily held write issued: DataWrites = %d", r.m.DataWrites)
+	}
+	r.c.Flush(r.eng.Now())
+	r.eng.Run()
+	if r.m.DataWrites != 1 {
+		t.Fatalf("DataWrites = %d after flush, want 1", r.m.DataWrites)
+	}
+	if !r.c.Drained() {
+		t.Fatal("queue not drained after flush")
+	}
+}
+
+func TestPairIsAtomic(t *testing.T) {
+	r := newRig(t, 4, false)
+	_, ok := r.enq(0, r.data(0, 0), r.ctr(4, 0))
+	if !*ok {
+		t.Fatal("pair not accepted into empty queue")
+	}
+	if r.c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.c.Len())
+	}
+	r.c.Flush(0)
+	r.eng.Run()
+	if r.m.DataWrites != 1 || r.m.CounterWrites != 1 {
+		t.Fatalf("writes = %d/%d, want 1/1", r.m.DataWrites, r.m.CounterWrites)
+	}
+}
+
+func TestFullQueueStallsUntilRetire(t *testing.T) {
+	cfg := config.Default()
+	r := newRig(t, 2, false)
+	// Two writes to the same bank fill the queue; the first issues
+	// immediately and retires at WriteCycles, the second at 2*WriteCycles.
+	r.enq(0, r.data(0, 0))
+	r.enq(0, r.data(0, 1))
+	at, ok := r.enq(0, r.data(0, 2))
+	if *ok {
+		t.Fatal("third write accepted into a full 2-entry queue")
+	}
+	r.eng.Run()
+	if !*ok {
+		t.Fatal("stalled write never accepted")
+	}
+	if *at != cfg.WriteCycles {
+		t.Fatalf("stalled write accepted at %d, want %d (first retire)", *at, cfg.WriteCycles)
+	}
+}
+
+func TestWaitersAcceptedInFIFOOrder(t *testing.T) {
+	r := newRig(t, 2, false)
+	r.enq(0, r.data(0, 0))
+	r.enq(0, r.data(0, 1))
+	at1, ok1 := r.enq(0, r.data(0, 2))
+	at2, ok2 := r.enq(0, r.data(0, 3))
+	if r.c.PendingWaiters() != 2 {
+		t.Fatalf("PendingWaiters = %d, want 2", r.c.PendingWaiters())
+	}
+	r.eng.Run()
+	if !*ok1 || !*ok2 {
+		t.Fatal("waiters never accepted")
+	}
+	if *at1 > *at2 {
+		t.Fatalf("waiter order violated: %d then %d", *at1, *at2)
+	}
+}
+
+func TestBankParallelDrain(t *testing.T) {
+	cfg := config.Default()
+	r := newRig(t, 8, false)
+	for b := 0; b < 8; b++ {
+		r.enq(0, r.data(b, 0))
+	}
+	r.c.Flush(0)
+	r.eng.Run()
+	if r.eng.Now() != cfg.WriteCycles {
+		t.Fatalf("8 writes to 8 banks finished at %d, want %d (parallel)", r.eng.Now(), cfg.WriteCycles)
+	}
+}
+
+func TestSingleBankSerialDrain(t *testing.T) {
+	cfg := config.Default()
+	r := newRig(t, 8, false)
+	for i := uint64(0); i < 4; i++ {
+		r.enq(0, r.data(7, i))
+	}
+	r.c.Flush(0)
+	r.eng.Run()
+	if r.eng.Now() != 4*cfg.WriteCycles {
+		t.Fatalf("4 same-bank writes finished at %d, want %d (serial)", r.eng.Now(), 4*cfg.WriteCycles)
+	}
+}
+
+func TestCWCRemovesSupersededCounter(t *testing.T) {
+	r := newRig(t, 32, true)
+	ctrAddr := r.ctr(7, 0)
+	// Saturate bank 7 with a data write so the counter entries stay
+	// un-issued and coalescible.
+	r.enq(0, r.data(7, 99))
+	r.enq(0, ctrAddr)
+	r.enq(0, ctrAddr)
+	r.enq(0, ctrAddr)
+	r.enq(0, ctrAddr)
+	r.c.Flush(0)
+	r.eng.Run()
+	if r.m.CoalescedWrites != 3 {
+		t.Fatalf("CoalescedWrites = %d, want 3", r.m.CoalescedWrites)
+	}
+	if r.m.CounterWrites != 1 {
+		t.Fatalf("CounterWrites = %d, want 1 (one survivor)", r.m.CounterWrites)
+	}
+}
+
+func TestCWCDoesNotCoalesceIssuedEntries(t *testing.T) {
+	r := newRig(t, 32, true)
+	ctrAddr := r.ctr(7, 0)
+	r.enq(0, ctrAddr)
+	r.c.Flush(0)      // forces the drain: the counter issues to bank 7
+	r.enq(0, ctrAddr) // first is in flight; cannot be removed
+	r.eng.Run()
+	if r.m.CounterWrites != 2 {
+		t.Fatalf("CounterWrites = %d, want 2 (in-flight entry must persist)", r.m.CounterWrites)
+	}
+	if r.m.CoalescedWrites != 0 {
+		t.Fatalf("CoalescedWrites = %d, want 0", r.m.CoalescedWrites)
+	}
+}
+
+func TestCWCDoesNotCoalesceDataWrites(t *testing.T) {
+	r := newRig(t, 32, true)
+	r.enq(0, r.data(7, 50)) // keeps bank busy
+	r.enq(0, r.data(7, 1))
+	r.enq(0, r.data(7, 1)) // same data address: not coalesced
+	r.c.Flush(0)
+	r.eng.Run()
+	if r.m.DataWrites != 3 {
+		t.Fatalf("DataWrites = %d, want 3 (data writes never coalesce)", r.m.DataWrites)
+	}
+}
+
+func TestCWCDoesNotCrossCounterAddresses(t *testing.T) {
+	r := newRig(t, 32, true)
+	r.enq(0, r.data(7, 50))
+	r.enq(0, r.ctr(7, 1))
+	r.enq(0, r.ctr(7, 2)) // different counter line
+	r.c.Flush(0)
+	r.eng.Run()
+	if r.m.CoalescedWrites != 0 {
+		t.Fatal("coalesced counters with different addresses")
+	}
+	if r.m.CounterWrites != 2 {
+		t.Fatalf("CounterWrites = %d, want 2", r.m.CounterWrites)
+	}
+}
+
+func TestCWCFreesSlotForWaiter(t *testing.T) {
+	// With CWC, a full queue whose tail holds a coalescible counter
+	// accepts a new counter write for the same line immediately.
+	r := newRig(t, 2, true)
+	r.enq(0, r.data(7, 50)) // hits the 2-entry queue's watermark: issues
+	r.enq(0, r.ctr(7, 1))   // queued, un-issued (bank 7 busy)
+	// Queue is full (2 entries), but the counter below coalesces.
+	at, ok := r.enq(0, r.ctr(7, 1))
+	if !*ok || *at != 0 {
+		t.Fatalf("coalescible enqueue into full queue: ok=%v at=%d, want immediate", *ok, *at)
+	}
+	r.eng.Run()
+	if r.m.CoalescedWrites != 1 {
+		t.Fatalf("CoalescedWrites = %d, want 1", r.m.CoalescedWrites)
+	}
+}
+
+func TestReadsBypassLazilyHeldWrites(t *testing.T) {
+	// Below the watermark, writes are not issued, so a read finds the
+	// bank idle — the whole point of lazy write drain.
+	cfg := config.Default()
+	r := newRig(t, 8, false)
+	r.enq(0, r.data(0, 0))
+	done := r.c.ReadLine(10, r.l.BankBase(0)+5*config.LineSize)
+	if done != 10+cfg.ReadCycles {
+		t.Fatalf("read done at %d, want %d (bank should be idle)", done, 10+cfg.ReadCycles)
+	}
+	r.c.Flush(r.eng.Now())
+	r.eng.Run()
+	if r.m.NVMReads != 1 || r.m.DataWrites != 1 {
+		t.Fatalf("reads/writes = %d/%d, want 1/1", r.m.NVMReads, r.m.DataWrites)
+	}
+}
+
+func TestReadsHavePriorityOverQueuedWrites(t *testing.T) {
+	cfg := config.Default()
+	r := newRig(t, 8, false)
+	// Force the drain with one in-flight write and one queued write on
+	// bank 0.
+	r.enq(0, r.data(0, 0))
+	r.enq(0, r.data(0, 1))
+	r.c.Flush(0)
+	// Read arrives while the first write is in flight: it reserves the
+	// bank right behind the in-flight write, ahead of the queued one.
+	done := r.c.ReadLine(10, r.l.BankBase(0)+5*config.LineSize)
+	if done != cfg.WriteCycles+cfg.ReadCycles {
+		t.Fatalf("read done at %d, want %d", done, cfg.WriteCycles+cfg.ReadCycles)
+	}
+	r.eng.Run()
+	// The queued write resumed after the read.
+	if r.eng.Now() != cfg.WriteCycles+cfg.ReadCycles+cfg.WriteCycles {
+		t.Fatalf("drain finished at %d, want %d", r.eng.Now(), cfg.WriteCycles+cfg.ReadCycles+cfg.WriteCycles)
+	}
+	if r.m.NVMReads != 1 {
+		t.Fatalf("NVMReads = %d, want 1", r.m.NVMReads)
+	}
+}
+
+func TestWatermarkStartsAndStopsDrain(t *testing.T) {
+	// Capacity 16: hiWM 12, loWM 2. All writes target one bank so the
+	// drain proceeds one entry at a time and the stop point is visible.
+	r := newRig(t, 16, false)
+	for i := uint64(0); i < 11; i++ {
+		r.enq(0, r.data(0, i))
+	}
+	r.eng.Run()
+	if r.m.DataWrites != 0 {
+		t.Fatalf("drain started below the high watermark: %d writes", r.m.DataWrites)
+	}
+	r.enq(0, r.data(0, 99)) // 12th entry: hits hiWM
+	r.eng.Run()
+	if r.m.DataWrites == 0 {
+		t.Fatal("drain never started at the high watermark")
+	}
+	// Drain stops at the low watermark, not zero.
+	if r.c.Len() != 2 {
+		t.Fatalf("drain stopped at occupancy %d, want the low watermark 2", r.c.Len())
+	}
+	// Flush finishes the job.
+	r.c.Flush(r.eng.Now())
+	r.eng.Run()
+	if !r.c.Drained() || r.m.DataWrites != 12 {
+		t.Fatalf("flush left %d entries, %d writes", r.c.Len(), r.m.DataWrites)
+	}
+}
+
+func TestEnqueueArityPanics(t *testing.T) {
+	r := newRig(t, 4, false)
+	for _, entries := range [][]Entry{{}, {r.data(0, 0), r.data(0, 1), r.data(0, 2)}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Enqueue accepted %d entries", len(entries))
+				}
+			}()
+			r.c.Enqueue(0, entries, func(uint64) {})
+		}()
+	}
+}
+
+func TestTinyCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted capacity 1")
+		}
+	}()
+	newRig(t, 1, false)
+}
+
+// The CWC benefit must grow with queue length: with a longer queue, more
+// un-issued counter writes with the same address accumulate (Figure 16a).
+func TestLongerQueueCoalescesMore(t *testing.T) {
+	coalesced := func(capacity int) uint64 {
+		r := newRig(t, capacity, true)
+		fills := 0
+		// Alternate data writes (to one busy bank) and counter writes to
+		// one counter line, all at time 0; small queues force stalls
+		// that issue counters before they can coalesce.
+		for i := 0; i < 40; i++ {
+			r.c.Enqueue(0, []Entry{r.data(0, uint64(i))}, func(uint64) { fills++ })
+			r.c.Enqueue(0, []Entry{r.ctr(4, 0)}, func(uint64) { fills++ })
+			r.eng.RunUntil(r.eng.Now()) // let same-time events settle
+		}
+		r.eng.Run()
+		return r.m.CoalescedWrites
+	}
+	small := coalesced(4)
+	large := coalesced(64)
+	if large <= small {
+		t.Fatalf("coalescing did not grow with queue size: cap4=%d cap64=%d", small, large)
+	}
+}

@@ -1,0 +1,109 @@
+package nvm
+
+import (
+	"fmt"
+
+	"supermem/internal/config"
+)
+
+// BankStats accumulates per-bank service counts and occupancy.
+type BankStats struct {
+	Reads      uint64
+	Writes     uint64
+	BusyCycles uint64
+}
+
+type bank struct {
+	freeAt uint64
+	stats  BankStats
+}
+
+// Device is the timing model of the NVM DIMM: a set of banks, each able
+// to service one line operation at a time. Callers reserve bank time;
+// the device hands back start/completion times and accounts occupancy.
+type Device struct {
+	layout Layout
+	read   uint64 // read service cycles per line
+	write  uint64 // write service cycles per line
+	banks  []bank
+}
+
+// NewDevice builds the device from the configuration.
+func NewDevice(cfg config.Config) *Device {
+	return &Device{
+		layout: NewLayout(cfg),
+		read:   cfg.ReadCycles,
+		write:  cfg.WriteCycles,
+		banks:  make([]bank, cfg.Banks),
+	}
+}
+
+// Layout returns the device's address map.
+func (d *Device) Layout() Layout { return d.layout }
+
+// Banks returns the number of banks.
+func (d *Device) Banks() int { return len(d.banks) }
+
+// BankFreeAt returns the cycle at which the bank finishes its current
+// operation (it may be in the past if the bank is idle).
+func (d *Device) BankFreeAt(b int) uint64 { return d.banks[b].freeAt }
+
+// BankFree reports whether bank b is idle at cycle now.
+func (d *Device) BankFree(b int, now uint64) bool { return d.banks[b].freeAt <= now }
+
+// ReadLine reserves the target bank for a line read starting no earlier
+// than now, and returns the completion time.
+func (d *Device) ReadLine(now, addr uint64) (done uint64) {
+	b := d.layout.BankOf(addr)
+	done = d.reserve(b, now, d.read)
+	d.banks[b].stats.Reads++
+	return done
+}
+
+// WriteLine reserves the target bank for a line write starting no earlier
+// than now, and returns the completion time. The memory controller calls
+// this only when the bank is free (lazy drain), but the device accepts
+// back-to-back reservations regardless.
+func (d *Device) WriteLine(now, addr uint64) (done uint64) {
+	b := d.layout.BankOf(addr)
+	done = d.reserve(b, now, d.write)
+	d.banks[b].stats.Writes++
+	return done
+}
+
+func (d *Device) reserve(b int, now, dur uint64) uint64 {
+	start := now
+	if d.banks[b].freeAt > start {
+		start = d.banks[b].freeAt
+	}
+	done := start + dur
+	d.banks[b].freeAt = done
+	d.banks[b].stats.BusyCycles += dur
+	return done
+}
+
+// Stats returns a copy of the per-bank statistics.
+func (d *Device) Stats() []BankStats {
+	out := make([]BankStats, len(d.banks))
+	for i := range d.banks {
+		out[i] = d.banks[i].stats
+	}
+	return out
+}
+
+// TotalStats sums the per-bank statistics.
+func (d *Device) TotalStats() BankStats {
+	var t BankStats
+	for i := range d.banks {
+		t.Reads += d.banks[i].stats.Reads
+		t.Writes += d.banks[i].stats.Writes
+		t.BusyCycles += d.banks[i].stats.BusyCycles
+	}
+	return t
+}
+
+// String summarises bank occupancy, for debug output.
+func (d *Device) String() string {
+	t := d.TotalStats()
+	return fmt.Sprintf("nvm{banks=%d reads=%d writes=%d busy=%d}", len(d.banks), t.Reads, t.Writes, t.BusyCycles)
+}

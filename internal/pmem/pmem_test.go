@@ -1,0 +1,292 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+
+	"supermem/internal/machine"
+	"supermem/internal/trace"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+const (
+	logBase = 1 << 20
+	logSize = 64 << 10
+	dataAt  = 4096
+)
+
+func TestTracingBackendRoundTrip(t *testing.T) {
+	b := NewTracingBackend()
+	payload := []byte("hello tracing backend spanning multiple lines of memory")
+	b.Store(100, payload)
+	if got := b.Load(100, len(payload)); !bytes.Equal(got, payload) {
+		t.Fatalf("Load = %q", got)
+	}
+	// Untouched memory reads as zero.
+	if got := b.Load(1<<30, 4); !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Fatal("untouched memory not zero")
+	}
+}
+
+func TestTracingBackendRecordsOps(t *testing.T) {
+	b := NewTracingBackend()
+	b.Store(0, make([]byte, 128)) // 2 lines
+	b.CLWB(0)
+	b.CLWB(64)
+	b.SFence()
+	b.Load(0, 1)
+	ops := b.Ops()
+	var wr, fl, fe, rd int
+	for _, op := range ops {
+		switch op.Kind {
+		case trace.Write:
+			wr++
+		case trace.Flush:
+			fl++
+		case trace.Fence:
+			fe++
+		case trace.Read:
+			rd++
+		}
+	}
+	if wr != 2 || fl != 2 || fe != 1 || rd != 1 {
+		t.Fatalf("recorded W=%d F=%d SF=%d R=%d", wr, fl, fe, rd)
+	}
+}
+
+func TestFlushRangeCoversLines(t *testing.T) {
+	b := NewTracingBackend()
+	FlushRange(b, 60, 10) // straddles lines 0 and 64
+	if n := len(b.Ops()); n != 2 {
+		t.Fatalf("FlushRange issued %d flushes, want 2", n)
+	}
+	b2 := NewTracingBackend()
+	FlushRange(b2, 0, 0)
+	if len(b2.Ops()) != 0 {
+		t.Fatal("empty FlushRange issued flushes")
+	}
+}
+
+func TestCommitPersistsData(t *testing.T) {
+	m, _ := machine.New(machine.WTRegister, testKey)
+	tm := NewTxManager(m, logBase, logSize)
+	tx := tm.Begin()
+	tx.Write(dataAt, []byte("committed data"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	r := m.Recover()
+	Recover(r, logBase, logSize)
+	if got := r.Load(dataAt, 14); !bytes.Equal(got, []byte("committed data")) {
+		t.Fatalf("after crash+recover: %q", got)
+	}
+}
+
+func TestTxMarkers(t *testing.T) {
+	b := NewTracingBackend()
+	tm := NewTxManager(b, logBase, logSize)
+	tx := tm.Begin()
+	tx.Write(dataAt, []byte("x"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ops := b.Ops()
+	if ops[0].Kind != trace.TxBegin || ops[len(ops)-1].Kind != trace.TxEnd {
+		t.Fatalf("tx not bracketed by markers: first=%v last=%v", ops[0], ops[len(ops)-1])
+	}
+}
+
+func TestTxStagesOrder(t *testing.T) {
+	// prepare (log writes + fence) must precede mutate (data writes),
+	// which must precede the commit record flush.
+	b := NewTracingBackend()
+	tm := NewTxManager(b, logBase, logSize)
+	tx := tm.Begin()
+	tx.Write(dataAt, make([]byte, 128))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var firstData, lastLog, commitFlush = -1, -1, -1
+	for i, op := range b.Ops() {
+		switch {
+		case op.Kind == trace.Write && op.Addr >= logBase && lastLog < 0:
+			// first log write; keep scanning for the header flush
+		case op.Kind == trace.Flush && op.Addr == logBase && commitFlush < 0 && firstData >= 0:
+			commitFlush = i
+		case op.Kind == trace.Write && op.Addr < logBase && firstData < 0:
+			firstData = i
+		}
+		if op.Kind == trace.Flush && op.Addr >= logBase && firstData < 0 {
+			lastLog = i
+		}
+	}
+	if !(lastLog < firstData && firstData < commitFlush) {
+		t.Fatalf("stage order wrong: log flush %d, first data write %d, commit flush %d", lastLog, firstData, commitFlush)
+	}
+}
+
+func TestRecoverRollsBackUncommitted(t *testing.T) {
+	// Crash during mutate: old data must come back.
+	old := []byte("old value 123456")
+	updated := []byte("NEW VALUE abcdef")
+
+	// First, a clean run to learn the persist counts per stage.
+	m, _ := machine.New(machine.WTRegister, testKey)
+	tm := NewTxManager(m, logBase, logSize)
+	tx := tm.Begin()
+	tx.Write(dataAt, old)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Persists()
+	tx = tm.Begin()
+	tx.Write(dataAt, updated)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	total := m.Persists() - before
+
+	// Sweep every crash point in the second transaction.
+	for crashAt := 0; crashAt < total; crashAt++ {
+		m, _ := machine.New(machine.WTRegister, testKey)
+		tm := NewTxManager(m, logBase, logSize)
+		tx := tm.Begin()
+		tx.Write(dataAt, old)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		m.ArmCrashAtPersist(crashAt)
+		tx = tm.Begin()
+		tx.Write(dataAt, updated)
+		tx.Commit() // crashes partway; error irrelevant
+		r := m.Recover()
+		Recover(r, logBase, logSize)
+		got := r.Load(dataAt, len(old))
+		if !bytes.Equal(got, old) && !bytes.Equal(got, updated) {
+			t.Fatalf("crash@%d/%d: data is neither old nor new: %q", crashAt, total, got)
+		}
+	}
+}
+
+func TestRecoverOnWBNoBatteryFails(t *testing.T) {
+	// The Table 1 failure: crash in the mutate stage on a machine whose
+	// counter cache is write-back without battery. The log decrypts to
+	// garbage, recovery restores nothing, and the data is corrupt.
+	old := []byte("old value 123456")
+	updated := []byte("NEW VALUE abcdef")
+
+	// Learn stage boundaries on a battery machine (same persist counts).
+	probe, _ := machine.New(machine.WBBattery, testKey)
+	ptm := NewTxManager(probe, logBase, logSize)
+	ptx := ptm.Begin()
+	ptx.Write(dataAt, old)
+	ptx.Commit()
+	before := probe.Persists()
+	ptx = ptm.Begin()
+	ptx.Write(dataAt, updated)
+	ptx.Commit()
+	total := probe.Persists() - before
+
+	corrupted := false
+	for crashAt := 0; crashAt < total; crashAt++ {
+		m, _ := machine.New(machine.WBNoBattery, testKey)
+		tm := NewTxManager(m, logBase, logSize)
+		tx := tm.Begin()
+		tx.Write(dataAt, old)
+		tx.Commit()
+		m.ArmCrashAtPersist(crashAt)
+		tx = tm.Begin()
+		tx.Write(dataAt, updated)
+		tx.Commit()
+		r := m.Recover()
+		Recover(r, logBase, logSize)
+		got := r.Load(dataAt, len(old))
+		if !bytes.Equal(got, old) && !bytes.Equal(got, updated) {
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Fatal("WB without battery never corrupted data — Table 1's failure mode is not reproduced")
+	}
+}
+
+func TestRecoverIdempotent(t *testing.T) {
+	m, _ := machine.New(machine.WTRegister, testKey)
+	tm := NewTxManager(m, logBase, logSize)
+	tx := tm.Begin()
+	tx.Write(dataAt, []byte("aaaa"))
+	tx.Commit()
+	m.ArmCrashAtPersist(3) // somewhere in the next tx
+	tx = tm.Begin()
+	tx.Write(dataAt, []byte("bbbb"))
+	tx.Commit()
+	r := m.Recover()
+	first := Recover(r, logBase, logSize)
+	second := Recover(r, logBase, logSize)
+	if first && second {
+		t.Fatal("second Recover rolled back again")
+	}
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	m, _ := machine.New(machine.WTRegister, testKey)
+	if Recover(m, logBase, logSize) {
+		t.Fatal("Recover rolled back on a pristine machine")
+	}
+}
+
+func TestLogOverflow(t *testing.T) {
+	b := NewTracingBackend()
+	tm := NewTxManager(b, logBase, 256) // tiny log
+	tx := tm.Begin()
+	tx.Write(dataAt, make([]byte, 1024))
+	if err := tx.Commit(); err == nil {
+		t.Fatal("oversized tx committed into a tiny log")
+	}
+}
+
+func TestAbort(t *testing.T) {
+	b := NewTracingBackend()
+	tm := NewTxManager(b, logBase, logSize)
+	tx := tm.Begin()
+	tx.Write(dataAt, []byte("never"))
+	tx.Abort()
+	if got := b.Load(dataAt, 5); bytes.Equal(got, []byte("never")) {
+		t.Fatal("aborted write reached memory")
+	}
+}
+
+func TestTxBytes(t *testing.T) {
+	b := NewTracingBackend()
+	tm := NewTxManager(b, logBase, logSize)
+	tx := tm.Begin()
+	tx.Write(0, make([]byte, 100))
+	tx.Write(200, make([]byte, 28))
+	if tx.Bytes() != 128 {
+		t.Fatalf("Bytes = %d, want 128", tx.Bytes())
+	}
+	tx.Abort()
+}
+
+func TestMultipleSequentialTxs(t *testing.T) {
+	m, _ := machine.New(machine.WTRegister, testKey)
+	tm := NewTxManager(m, logBase, logSize)
+	for i := byte(0); i < 10; i++ {
+		tx := tm.Begin()
+		tx.Write(dataAt+uint64(i)*64, []byte{i, i, i})
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Crash()
+	r := m.Recover()
+	Recover(r, logBase, logSize)
+	for i := byte(0); i < 10; i++ {
+		got := r.Load(dataAt+uint64(i)*64, 3)
+		if !bytes.Equal(got, []byte{i, i, i}) {
+			t.Fatalf("tx %d data lost: %v", i, got)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"supermem/internal/trace"
+)
+
+// The durable transaction uses redo logging with the paper's three
+// stages (Table 1): the prepare stage creates a log entry backing up
+// the data to be written (the new bytes), the mutate stage writes the
+// data in place, and the commit stage invalidates the log entry.
+//
+// Log layout, all little-endian, starting at the manager's logBase:
+//
+//	header line (64 B):
+//	  [0:4]  magic "SMLG"
+//	  [4:12] transaction id
+//	  [12:16] record count
+//	  [16:20] state (1 = sealed/active, 2 = committed/invalid)
+//	records, packed from logBase+64:
+//	  [0:8]  data address
+//	  [8:12] length
+//	  [12:12+len] new data bytes
+//
+// The header seals only after its records are durable, so recovery can
+// trust a sealed log completely: it reapplies the records and the
+// transaction commits after all. A crash before the seal leaves the old
+// data; a crash after leaves the new data. A header that fails to
+// decode (wrong magic/state) is treated as empty — on a machine whose
+// counters were lost the log decrypts to garbage and recovery silently
+// restores nothing, which is exactly the unrecoverable rows of Table 1.
+//
+// Writes staged with WriteFresh (newly allocated, unreachable extents)
+// are persisted in place *before* the seal instead of being logged:
+// they only become reachable through logged pointer writes, and they
+// are already durable by the time a sealed log could reapply those
+// pointers.
+
+const (
+	logMagic       = "SMLG"
+	headerBytes    = 64
+	stateActive    = 1
+	stateCommitted = 2
+)
+
+// Stage identifies the durable-transaction stages of Table 1.
+type Stage int
+
+const (
+	// StagePrepare creates the log entry backing up the data to be
+	// written.
+	StagePrepare Stage = iota
+	// StageMutate modifies the data in place.
+	StageMutate
+	// StageCommit invalidates the log entry.
+	StageCommit
+)
+
+// String names the stage as the paper does.
+func (s Stage) String() string {
+	switch s {
+	case StagePrepare:
+		return "prepare"
+	case StageMutate:
+		return "mutate"
+	case StageCommit:
+		return "commit"
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// TxManager runs durable redo-log transactions against a backend.
+type TxManager struct {
+	b       Backend
+	logBase uint64
+	logSize uint64
+	txID    uint64
+	markers bool
+
+	// StageHook, when set, fires at the start of each commit stage —
+	// the crash harness uses it to map persistence steps to Table 1
+	// rows.
+	StageHook func(Stage)
+}
+
+// NewTxManager builds a manager whose log lives at [logBase,
+// logBase+logSize).
+func NewTxManager(b Backend, logBase, logSize uint64) *TxManager {
+	return &TxManager{b: b, logBase: logBase, logSize: logSize, markers: true}
+}
+
+// EnableMarkers controls whether transactions emit TxBegin/TxEnd trace
+// markers. Warmup phases disable them so warmup transactions do not
+// count toward measured latency.
+func (tm *TxManager) EnableMarkers(on bool) { tm.markers = on }
+
+func (tm *TxManager) stage(s Stage) {
+	if tm.StageHook != nil {
+		tm.StageHook(s)
+	}
+}
+
+// Backend returns the manager's backend (workloads read through it).
+func (tm *TxManager) Backend() Backend { return tm.b }
+
+// Tx is one durable transaction. Writes are staged in program order and
+// persisted atomically by Commit.
+type Tx struct {
+	tm     *TxManager
+	writes []stagedWrite
+	marked bool
+}
+
+type stagedWrite struct {
+	addr  uint64
+	data  []byte
+	fresh bool
+}
+
+// Begin starts a transaction and emits the TxBegin marker so traversal
+// reads performed before Commit count toward the transaction's latency.
+func (tm *TxManager) Begin() *Tx {
+	if tm.markers {
+		mark(tm.b, trace.Op{Kind: trace.TxBegin})
+	}
+	return &Tx{tm: tm, marked: tm.markers}
+}
+
+// Write stages new bytes for addr. The data is copied.
+func (t *Tx) Write(addr uint64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	t.writes = append(t.writes, stagedWrite{addr: addr, data: cp})
+}
+
+// WriteFresh stages new bytes for a freshly allocated extent that is
+// not yet reachable from the structure. Fresh writes are persisted
+// before the log seals instead of being logged — if the transaction
+// never commits, the extent stays unreachable, so it needs no record.
+func (t *Tx) WriteFresh(addr uint64, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	t.writes = append(t.writes, stagedWrite{addr: addr, data: cp, fresh: true})
+}
+
+// Bytes returns the total staged payload size.
+func (t *Tx) Bytes() int {
+	n := 0
+	for _, w := range t.writes {
+		n += len(w.data)
+	}
+	return n
+}
+
+// Commit runs the three durable stages of Table 1: prepare (persist the
+// redo log), mutate (persist the data in place), commit (persist the
+// commit record). It returns an error when the log region is too small.
+func (t *Tx) Commit() error {
+	tm := t.tm
+	b := tm.b
+	tm.txID++
+
+	// --- Prepare: persist fresh extents in place and log everything
+	// else. ---
+	tm.stage(StagePrepare)
+	for _, w := range t.writes {
+		if !w.fresh {
+			continue
+		}
+		b.Store(w.addr, w.data)
+		FlushRange(b, w.addr, len(w.data))
+	}
+	off := tm.logBase + headerBytes
+	logged := uint32(0)
+	for _, w := range t.writes {
+		if w.fresh {
+			continue
+		}
+		need := uint64(12 + len(w.data))
+		if off+need > tm.logBase+tm.logSize {
+			return fmt.Errorf("pmem: log overflow: tx of %d bytes exceeds %d-byte log", t.Bytes(), tm.logSize)
+		}
+		var rec [12]byte
+		binary.LittleEndian.PutUint64(rec[0:8], w.addr)
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(w.data)))
+		b.Store(off, rec[:])
+		b.Store(off+12, w.data)
+		off += need
+		logged++
+	}
+	// Seal the header only after its records (and fresh extents) are
+	// durable.
+	FlushRange(b, tm.logBase+headerBytes, int(off-tm.logBase-headerBytes))
+	b.SFence()
+	var hdr [20]byte
+	copy(hdr[0:4], logMagic)
+	binary.LittleEndian.PutUint64(hdr[4:12], tm.txID)
+	binary.LittleEndian.PutUint32(hdr[12:16], logged)
+	binary.LittleEndian.PutUint32(hdr[16:20], stateActive)
+	b.Store(tm.logBase, hdr[:])
+	b.CLWB(tm.logBase)
+	b.SFence()
+
+	// --- Mutate: write the new data in place. ---
+	tm.stage(StageMutate)
+	for _, w := range t.writes {
+		if w.fresh {
+			continue // already durable
+		}
+		b.Store(w.addr, w.data)
+		FlushRange(b, w.addr, len(w.data))
+	}
+	b.SFence()
+
+	// --- Commit: invalidate the log entry. ---
+	tm.stage(StageCommit)
+	var state [4]byte
+	binary.LittleEndian.PutUint32(state[:], stateCommitted)
+	b.Store(tm.logBase+16, state[:])
+	b.CLWB(tm.logBase)
+	b.SFence()
+
+	if t.marked {
+		mark(b, trace.Op{Kind: trace.TxEnd})
+	}
+	t.writes = nil
+	return nil
+}
+
+// Abort drops the staged writes without touching memory.
+func (t *Tx) Abort() {
+	t.writes = nil
+	if t.marked {
+		mark(t.tm.b, trace.Op{Kind: trace.TxEnd})
+	}
+}
+
+// Recover inspects the log after a restart and completes an interrupted
+// transaction by reapplying its sealed redo records. It reports whether
+// a reapply happened. An unsealed or undecodable header restores
+// nothing: either the transaction never reached its durability point
+// (the old data is intact), or the log's counters were lost and it
+// decrypts to garbage — the unrecoverable rows of Table 1.
+func Recover(b Backend, logBase, logSize uint64) (reapplied bool) {
+	hdr := b.Load(logBase, headerBytes)
+	if string(hdr[0:4]) != logMagic {
+		return false
+	}
+	state := binary.LittleEndian.Uint32(hdr[16:20])
+	if state != stateActive {
+		return false
+	}
+	count := binary.LittleEndian.Uint32(hdr[12:16])
+	off := logBase + headerBytes
+	type rec struct {
+		addr uint64
+		data []byte
+	}
+	var recs []rec
+	for i := uint32(0); i < count; i++ {
+		if off+12 > logBase+logSize {
+			return false // torn log: refuse to apply garbage
+		}
+		meta := b.Load(off, 12)
+		addr := binary.LittleEndian.Uint64(meta[0:8])
+		n := binary.LittleEndian.Uint32(meta[8:12])
+		if uint64(n) > logSize || off+12+uint64(n) > logBase+logSize {
+			return false
+		}
+		recs = append(recs, rec{addr: addr, data: b.Load(off+12, int(n))})
+		off += 12 + uint64(n)
+	}
+	// Reapply in order (redo).
+	for _, r := range recs {
+		b.Store(r.addr, r.data)
+		FlushRange(b, r.addr, len(r.data))
+	}
+	b.SFence()
+	// Invalidate the log so recovery is idempotent.
+	var state4 [4]byte
+	binary.LittleEndian.PutUint32(state4[:], stateCommitted)
+	b.Store(logBase+16, state4[:])
+	b.CLWB(logBase)
+	b.SFence()
+	return true
+}

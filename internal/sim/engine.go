@@ -1,0 +1,105 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is measured in CPU cycles (uint64). Events scheduled for the same
+// cycle fire in the order they were scheduled, which keeps multi-core runs
+// reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to fire at a simulated time.
+type Event func(now uint64)
+
+type item struct {
+	at  uint64
+	seq uint64
+	fn  Event
+}
+
+type eventHeap []item
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulator.
+//
+// The zero value is ready to use.
+type Engine struct {
+	now  uint64
+	seq  uint64
+	heap eventHeap
+}
+
+// Now returns the current simulated time in cycles.
+func (e *Engine) Now() uint64 { return e.now }
+
+// At schedules fn to run at the absolute cycle at. Scheduling in the past
+// panics: it always indicates a model bug.
+func (e *Engine) At(at uint64, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, item{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay uint64, fn Event) { e.At(e.now+delay, fn) }
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Step fires the next event, advancing time to it. It reports whether an
+// event was fired.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	it := heap.Pop(&e.heap).(item)
+	e.now = it.at
+	it.fn(e.now)
+	return true
+}
+
+// Run fires events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with time <= deadline. Time never advances past
+// the deadline; remaining events stay queued.
+func (e *Engine) RunUntil(deadline uint64) {
+	for len(e.heap) > 0 && e.heap[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// NextEventAt returns the time of the earliest pending event. The boolean
+// is false when the queue is empty.
+func (e *Engine) NextEventAt() (uint64, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyEngine(t *testing.T) {
+	var e Engine
+	if e.Now() != 0 {
+		t.Fatalf("fresh engine Now() = %d, want 0", e.Now())
+	}
+	if e.Step() {
+		t.Fatal("Step() on empty engine returned true")
+	}
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("NextEventAt() on empty engine reported an event")
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var e Engine
+	var got []uint64
+	for _, at := range []uint64{50, 10, 30, 20, 40} {
+		at := at
+		e.At(at, func(now uint64) {
+			if now != at {
+				t.Errorf("event scheduled for %d fired at %d", at, now)
+			}
+			got = append(got, now)
+		})
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("events fired out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Errorf("fired %d events, want 5", len(got))
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func(uint64) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestEventsScheduleMoreEvents(t *testing.T) {
+	var e Engine
+	count := 0
+	var chain func(now uint64)
+	chain = func(now uint64) {
+		count++
+		if count < 100 {
+			e.After(3, chain)
+		}
+	}
+	e.After(1, chain)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("chained %d events, want 100", count)
+	}
+	if e.Now() != 1+3*99 {
+		t.Fatalf("final time = %d, want %d", e.Now(), 1+3*99)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func(uint64) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func(uint64) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	fired := map[uint64]bool{}
+	for _, at := range []uint64{5, 10, 15, 20} {
+		at := at
+		e.At(at, func(uint64) { fired[at] = true })
+	}
+	e.RunUntil(12)
+	if !fired[5] || !fired[10] || fired[15] || fired[20] {
+		t.Fatalf("RunUntil(12) fired wrong set: %v", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("RunUntil left Now() = %d, want 12", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if !fired[15] || !fired[20] {
+		t.Fatal("remaining events lost after RunUntil")
+	}
+}
+
+func TestRunUntilAdvancesTimeWithNoEvents(t *testing.T) {
+	var e Engine
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Fatalf("Now() = %d, want 500", e.Now())
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	var e Engine
+	e.At(42, func(uint64) {})
+	e.At(17, func(uint64) {})
+	at, ok := e.NextEventAt()
+	if !ok || at != 17 {
+		t.Fatalf("NextEventAt() = %d,%v, want 17,true", at, ok)
+	}
+}
+
+// Property: for any random schedule, events fire in nondecreasing time
+// order and every event fires exactly once.
+func TestQuickOrdering(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		total := int(n%64) + 1
+		fired := 0
+		last := uint64(0)
+		ok := true
+		for i := 0; i < total; i++ {
+			at := uint64(rng.Intn(1000))
+			e.At(at, func(now uint64) {
+				if now < last {
+					ok = false
+				}
+				last = now
+				fired++
+			})
+		}
+		e.Run()
+		return ok && fired == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

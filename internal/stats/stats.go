@@ -1,0 +1,270 @@
+// Package stats collects simulation metrics and renders the result
+// tables the benchmark harness prints for each paper figure.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Metrics accumulates the counters a single simulation run produces.
+type Metrics struct {
+	// Cycles is the total simulated execution time.
+	Cycles uint64
+
+	// Transactions is the number of completed durable transactions.
+	Transactions uint64
+	// TxCycles is the sum of per-transaction latencies.
+	TxCycles uint64
+
+	// DataWrites counts data-line writes issued to NVM.
+	DataWrites uint64
+	// CounterWrites counts counter-line writes issued to NVM.
+	CounterWrites uint64
+	// CoalescedWrites counts counter writes removed from the write
+	// queue by CWC (each one is an NVM write that never happened).
+	CoalescedWrites uint64
+
+	// NVMReads counts line reads served by the NVM device.
+	NVMReads uint64
+
+	// WQStallCycles is time cores spent stalled on a full write queue.
+	WQStallCycles uint64
+	// ReadStallCycles is time cores spent waiting for memory reads.
+	ReadStallCycles uint64
+
+	// CtrCacheHits/Misses count counter cache lookups.
+	CtrCacheHits   uint64
+	CtrCacheMisses uint64
+	// CtrEvictions counts dirty counter-cache evictions (write-back
+	// schemes write these to NVM).
+	CtrEvictions uint64
+
+	// Reencryptions counts minor-counter overflows that forced a page
+	// re-encryption; ReencryptLines counts the lines rewritten for them.
+	Reencryptions  uint64
+	ReencryptLines uint64
+}
+
+// TotalNVMWrites is the headline write count of Figure 15.
+func (m Metrics) TotalNVMWrites() uint64 { return m.DataWrites + m.CounterWrites }
+
+// AvgTxCycles returns the mean transaction latency.
+func (m Metrics) AvgTxCycles() float64 {
+	if m.Transactions == 0 {
+		return 0
+	}
+	return float64(m.TxCycles) / float64(m.Transactions)
+}
+
+// CtrCacheHitRate returns the counter cache hit rate (Figure 17a).
+func (m Metrics) CtrCacheHitRate() float64 {
+	total := m.CtrCacheHits + m.CtrCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CtrCacheHits) / float64(total)
+}
+
+// Add accumulates other into m (used to merge per-core metrics).
+func (m *Metrics) Add(other Metrics) {
+	m.Cycles = max(m.Cycles, other.Cycles)
+	m.Transactions += other.Transactions
+	m.TxCycles += other.TxCycles
+	m.DataWrites += other.DataWrites
+	m.CounterWrites += other.CounterWrites
+	m.CoalescedWrites += other.CoalescedWrites
+	m.NVMReads += other.NVMReads
+	m.WQStallCycles += other.WQStallCycles
+	m.ReadStallCycles += other.ReadStallCycles
+	m.CtrCacheHits += other.CtrCacheHits
+	m.CtrCacheMisses += other.CtrCacheMisses
+	m.CtrEvictions += other.CtrEvictions
+	m.Reencryptions += other.Reencryptions
+	m.ReencryptLines += other.ReencryptLines
+}
+
+// Table is a printable result table: one row per configuration point and
+// one column per measured series, as the paper's figures plot them.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []row
+}
+
+type row struct {
+	label string
+	cells []float64
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a labelled row. The cell count must match the columns.
+func (t *Table) AddRow(label string, cells ...float64) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("stats: row %q has %d cells, table has %d columns", label, len(cells), len(t.Columns)))
+	}
+	t.rows = append(t.rows, row{label: label, cells: cells})
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Cell returns the value at (rowLabel, column). It panics on unknown
+// labels — tests use it to assert reproduced numbers.
+func (t *Table) Cell(rowLabel, column string) float64 {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		panic(fmt.Sprintf("stats: table %q has no column %q", t.Title, column))
+	}
+	for _, r := range t.rows {
+		if r.label == rowLabel {
+			return r.cells[ci]
+		}
+	}
+	panic(fmt.Sprintf("stats: table %q has no row %q", t.Title, rowLabel))
+}
+
+// RowLabels returns the labels in insertion order.
+func (t *Table) RowLabels() []string {
+	out := make([]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = r.label
+	}
+	return out
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	labelW := len("workload")
+	for _, r := range t.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	colW := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colW[i] = len(c)
+		if colW[i] < 8 {
+			colW[i] = 8
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", labelW+2, "")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", colW[i]+2, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", labelW+2, r.label)
+		for i, v := range r.cells {
+			fmt.Fprintf(&b, "%*.*f", colW[i]+2, decimals(v), v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func decimals(v float64) int {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av >= 10000:
+		return 0
+	case av >= 10:
+		return 1
+	default:
+		return 3
+	}
+}
+
+// Normalize divides every cell of each row by the row's cell in the
+// baseline column, producing the "normalized to X" presentation the
+// paper's figures use.
+func (t *Table) Normalize(baseline string) *Table {
+	out := NewTable(t.Title+" (normalized to "+baseline+")", t.Columns...)
+	bi := -1
+	for i, c := range t.Columns {
+		if c == baseline {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		panic(fmt.Sprintf("stats: no baseline column %q", baseline))
+	}
+	for _, r := range t.rows {
+		base := r.cells[bi]
+		cells := make([]float64, len(r.cells))
+		for i, v := range r.cells {
+			if base != 0 {
+				cells[i] = v / base
+			}
+		}
+		out.AddRow(r.label, cells...)
+	}
+	return out
+}
+
+// GeoMeanRow appends a geometric-mean summary row across existing rows
+// and returns the values (useful for "average" bars in figures).
+func (t *Table) GeoMeanRow(label string) []float64 {
+	if len(t.rows) == 0 {
+		return nil
+	}
+	cells := make([]float64, len(t.Columns))
+	for i := range cells {
+		prod := 1.0
+		n := 0
+		for _, r := range t.rows {
+			if r.cells[i] > 0 {
+				prod *= r.cells[i]
+				n++
+			}
+		}
+		if n > 0 {
+			cells[i] = math.Pow(prod, 1.0/float64(n))
+		}
+	}
+	t.AddRow(label, cells...)
+	return cells
+}
+
+// SortRows orders rows by label (stable presentation for maps).
+func (t *Table) SortRows() {
+	sort.SliceStable(t.rows, func(i, j int) bool { return t.rows[i].label < t.rows[j].label })
+}
+
+// CSV renders the table as comma-separated values with a header row,
+// for plotting the figures outside Go.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("label")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(r.label)
+		for _, v := range r.cells {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMetricsDerived(t *testing.T) {
+	m := Metrics{Transactions: 4, TxCycles: 400, DataWrites: 10, CounterWrites: 5,
+		CtrCacheHits: 30, CtrCacheMisses: 10}
+	if got := m.AvgTxCycles(); got != 100 {
+		t.Errorf("AvgTxCycles = %v, want 100", got)
+	}
+	if got := m.TotalNVMWrites(); got != 15 {
+		t.Errorf("TotalNVMWrites = %v, want 15", got)
+	}
+	if got := m.CtrCacheHitRate(); got != 0.75 {
+		t.Errorf("CtrCacheHitRate = %v, want 0.75", got)
+	}
+}
+
+func TestMetricsZeroSafe(t *testing.T) {
+	var m Metrics
+	if m.AvgTxCycles() != 0 || m.CtrCacheHitRate() != 0 {
+		t.Fatal("zero metrics produced NaN-prone values")
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	a := Metrics{Cycles: 100, Transactions: 2, DataWrites: 5, WQStallCycles: 7}
+	b := Metrics{Cycles: 300, Transactions: 3, DataWrites: 6, WQStallCycles: 1}
+	a.Add(b)
+	if a.Cycles != 300 {
+		t.Errorf("Cycles should take max across cores: got %d", a.Cycles)
+	}
+	if a.Transactions != 5 || a.DataWrites != 11 || a.WQStallCycles != 8 {
+		t.Errorf("Add did not sum counters: %+v", a)
+	}
+}
+
+func TestTableCellLookup(t *testing.T) {
+	tb := NewTable("fig", "Unsec", "WT")
+	tb.AddRow("array", 1.0, 2.0)
+	tb.AddRow("queue", 1.5, 2.5)
+	if got := tb.Cell("queue", "WT"); got != 2.5 {
+		t.Errorf("Cell = %v, want 2.5", got)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d, want 2", tb.Rows())
+	}
+	labels := tb.RowLabels()
+	if labels[0] != "array" || labels[1] != "queue" {
+		t.Errorf("RowLabels = %v", labels)
+	}
+}
+
+func TestTableCellPanicsOnUnknown(t *testing.T) {
+	tb := NewTable("fig", "A")
+	tb.AddRow("r", 1)
+	for _, f := range []func(){
+		func() { tb.Cell("r", "missing") },
+		func() { tb.Cell("missing", "A") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Cell did not panic on unknown label")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	tb := NewTable("fig", "A", "B")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRow accepted wrong arity")
+		}
+	}()
+	tb.AddRow("r", 1)
+}
+
+func TestNormalize(t *testing.T) {
+	tb := NewTable("lat", "Unsec", "WT", "SuperMem")
+	tb.AddRow("array", 100, 200, 110)
+	n := tb.Normalize("Unsec")
+	if got := n.Cell("array", "WT"); got != 2.0 {
+		t.Errorf("normalized WT = %v, want 2", got)
+	}
+	if got := n.Cell("array", "Unsec"); got != 1.0 {
+		t.Errorf("normalized baseline = %v, want 1", got)
+	}
+	// Zero baseline must not divide by zero.
+	tb2 := NewTable("z", "A", "B")
+	tb2.AddRow("r", 0, 5)
+	if got := tb2.Normalize("A").Cell("r", "B"); got != 0 {
+		t.Errorf("zero baseline produced %v", got)
+	}
+}
+
+func TestGeoMeanRow(t *testing.T) {
+	tb := NewTable("g", "X")
+	tb.AddRow("a", 2)
+	tb.AddRow("b", 8)
+	vals := tb.GeoMeanRow("gmean")
+	if math.Abs(vals[0]-4) > 1e-9 {
+		t.Errorf("geomean = %v, want 4", vals[0])
+	}
+	if got := tb.Cell("gmean", "X"); math.Abs(got-4) > 1e-9 {
+		t.Errorf("gmean row cell = %v", got)
+	}
+}
+
+func TestStringRendersAllCells(t *testing.T) {
+	tb := NewTable("my title", "ColA", "ColB")
+	tb.AddRow("rowone", 1.25, 42000)
+	s := tb.String()
+	for _, want := range []string{"my title", "ColA", "ColB", "rowone", "1.250", "42000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	tb := NewTable("s", "A")
+	tb.AddRow("z", 1)
+	tb.AddRow("a", 2)
+	tb.SortRows()
+	if tb.RowLabels()[0] != "a" {
+		t.Errorf("SortRows did not sort: %v", tb.RowLabels())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("csv", "A", "B")
+	tb.AddRow("r1", 1.5, 2)
+	tb.AddRow("r2", 0.25, 42000)
+	got := tb.CSV()
+	want := "label,A,B\nr1,1.5,2\nr2,0.25,42000\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleOps() []Op {
+	return []Op{
+		{Kind: TxBegin},
+		{Kind: Read, Addr: 0x1000},
+		{Kind: Write, Addr: 0x1040},
+		{Kind: Compute, Arg: 17},
+		{Kind: Flush, Addr: 0x1040},
+		{Kind: Fence},
+		{Kind: TxEnd},
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	src := NewSliceSource(sampleOps())
+	if src.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", src.Len())
+	}
+	got := Record(src)
+	if !reflect.DeepEqual(got, sampleOps()) {
+		t.Fatalf("Record = %v", got)
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source returned another op")
+	}
+	src.Reset()
+	if op, ok := src.Next(); !ok || op.Kind != TxBegin {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	src := Limit(NewSliceSource(sampleOps()), 3)
+	got := Record(src)
+	if len(got) != 3 {
+		t.Fatalf("Limit(3) yielded %d ops", len(got))
+	}
+	if got[2].Kind != Write {
+		t.Fatalf("wrong third op: %v", got[2])
+	}
+	// Limit longer than the stream is harmless.
+	if n := len(Record(Limit(NewSliceSource(sampleOps()), 100))); n != 7 {
+		t.Fatalf("over-long Limit yielded %d ops", n)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleOps()) {
+		t.Fatalf("round trip mismatch: %v", got)
+	}
+}
+
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty trace decoded to %d ops", len(got))
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"bad magic":  []byte("NOTATRACE"),
+		"empty":      {},
+		"truncated":  append([]byte("SMTR1\n"), 0xff, 0xff, 0xff),
+		"bad kind":   append([]byte("SMTR1\n"), 1, 99),
+		"huge count": append([]byte("SMTR1\n"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f),
+	}
+	for name, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadBinary accepted invalid input", name)
+		}
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := make([]Op, int(n))
+		for i := range ops {
+			ops[i].Kind = Kind(rng.Intn(int(Reset) + 1))
+			switch ops[i].Kind {
+			case Read, Write, Flush:
+				ops[i].Addr = rng.Uint64() >> uint(rng.Intn(40))
+			case Compute:
+				ops[i].Arg = uint64(rng.Intn(100000))
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, ops); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(ops) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, ops)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sampleOps()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleOps()) {
+		t.Fatalf("text round trip mismatch:\n%s\ngot %v", buf.String(), got)
+	}
+}
+
+func TestTextCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nR 0x40\n  \nSF\n"
+	got, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{{Kind: Read, Addr: 0x40}, {Kind: Fence}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []string{
+		"R",        // missing address
+		"R zz",     // bad address
+		"C",        // missing cycles
+		"C abc",    // bad cycles
+		"BOGUS 12", // unknown op
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadText accepted %q", in)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Op{Kind: Read, Addr: 0x40}, "R 0x40"},
+		{Op{Kind: Compute, Arg: 5}, "C 5"},
+		{Op{Kind: Fence}, "SF"},
+		{Op{Kind: TxBegin}, "TB"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if !strings.Contains(Kind(200).String(), "200") {
+		t.Error("unknown kind should include its value")
+	}
+}

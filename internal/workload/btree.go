@@ -1,0 +1,510 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"supermem/internal/alloc"
+	"supermem/internal/config"
+	"supermem/internal/pmem"
+)
+
+// btreeWorkload is the paper's "B-tree" microbenchmark: a persistent
+// B+tree whose nodes continuously store multiple key-value items, which
+// gives the workload its good spatial locality (Section 5.4): an insert
+// appends the value and a slot inside one node.
+//
+// Node layouts:
+//
+//	common header: [0:4] type (1 = internal, 2 = leaf), [4:8] count
+//	internal (4 KB): keys (8 B each) from 16; children (8 B each) from
+//	          2048. child[i] covers keys k with keys[i-1] <= k < keys[i].
+//	leaf:     [8:16] bitmap of occupied value cells; unsorted slots of
+//	          {key 8, cell 4, pad 4} from 16 (up to btLeafCap entries);
+//	          then btLeafCap fixed-size, line-aligned value cells.
+//	          A split moves the upper half of the entries into a fresh
+//	          right leaf and rewrites only the left leaf's slot area and
+//	          header — the surviving value cells stay in place, keeping
+//	          structural write amplification near 1x, as in production
+//	          B+trees.
+//
+// The tree root and height live in a persistent meta line.
+type btreeWorkload struct {
+	heap      *alloc.Heap
+	meta      uint64
+	valueSize int
+	leafCap   int // value cells per leaf
+	leafSize  int
+	rng       *rand.Rand
+	inserted  map[uint64]bool
+}
+
+const (
+	btNodeSize     = config.PageSize // internal node size
+	btTypeInternal = 1
+	btTypeLeaf     = 2
+	btHdrSize      = 16
+	btChildBase    = 2048
+	btMaxInternal  = 128 // keys per internal node
+	btSlotSize     = 16
+	btLeafCap      = 16 // value cells per leaf
+)
+
+func newBTree(p Params) (*btreeWorkload, error) {
+	meta, err := p.Heap.Alloc(config.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("btree: %w", err)
+	}
+	valueSize := p.TxBytes - 64 // slot + header + meta overhead
+	if valueSize < 8 {
+		valueSize = 8
+	}
+	w := &btreeWorkload{
+		heap:      p.Heap,
+		meta:      meta,
+		valueSize: valueSize,
+		leafCap:   btLeafCap,
+		rng:       newRand(p.Seed),
+		inserted:  make(map[uint64]bool),
+	}
+	w.leafSize = w.cellBase() + w.leafCap*w.cellSize()
+	return w, nil
+}
+
+func (w *btreeWorkload) Name() string { return "btree" }
+
+// cellSize is the line-aligned size of one value cell, so a cell write
+// never dirties a neighbour's lines.
+func (w *btreeWorkload) cellSize() int {
+	return (w.valueSize + config.LineSize - 1) &^ (config.LineSize - 1)
+}
+
+// cellBase is the line-aligned offset of the first value cell.
+func (w *btreeWorkload) cellBase() int {
+	base := btHdrSize + w.leafCap*btSlotSize
+	return (base + config.LineSize - 1) &^ (config.LineSize - 1)
+}
+
+func (w *btreeWorkload) cellAddr(leaf uint64, cell int) uint64 {
+	return leaf + uint64(w.cellBase()) + uint64(cell*w.cellSize())
+}
+
+type btMeta struct {
+	root   uint64
+	height uint64 // 1 = the root is a leaf
+	count  uint64
+}
+
+func (w *btreeWorkload) loadMeta(b pmem.Backend) btMeta {
+	m := b.Load(w.meta, 24)
+	return btMeta{root: le64(m[0:8]), height: le64(m[8:16]), count: le64(m[16:24])}
+}
+
+func (w *btreeWorkload) metaBytes(m btMeta) []byte {
+	buf := make([]byte, 24)
+	put64(buf[0:8], m.root)
+	put64(buf[8:16], m.height)
+	put64(buf[16:24], m.count)
+	return buf
+}
+
+func (w *btreeWorkload) Setup(tm *pmem.TxManager) error {
+	root, err := w.heap.Alloc(uint64(w.leafSize))
+	if err != nil {
+		return fmt.Errorf("btree: %w", err)
+	}
+	b := tm.Backend()
+	setupStore(b, root, leafHdr(0, 0))
+	setupStore(b, w.meta, w.metaBytes(btMeta{root: root, height: 1}))
+	return nil
+}
+
+// --- in-memory views used during one operation ---
+
+type btEntry struct {
+	key   uint64
+	cell  int
+	value []byte
+}
+
+type btLeafView struct {
+	addr   uint64
+	count  int
+	bitmap uint64
+	slots  []byte // raw slot area, count*btSlotSize bytes
+}
+
+func (w *btreeWorkload) loadLeaf(b pmem.Backend, addr uint64) (btLeafView, error) {
+	hdr := b.Load(addr, btHdrSize)
+	if le32(hdr[0:4]) != btTypeLeaf {
+		return btLeafView{}, fmt.Errorf("btree: node %#x is not a leaf (type %d)", addr, le32(hdr[0:4]))
+	}
+	v := btLeafView{addr: addr, count: int(le32(hdr[4:8])), bitmap: le64(hdr[8:16])}
+	if v.count > w.leafCap {
+		return btLeafView{}, fmt.Errorf("btree: leaf %#x count %d exceeds capacity %d", addr, v.count, w.leafCap)
+	}
+	if v.count > 0 {
+		v.slots = b.Load(addr+btHdrSize, v.count*btSlotSize)
+	}
+	return v, nil
+}
+
+func (v btLeafView) slot(i int) (key uint64, cell int) {
+	s := v.slots[i*btSlotSize:]
+	return le64(s[0:8]), int(le32(s[8:12]))
+}
+
+func leafHdr(count int, bitmap uint64) []byte {
+	hdr := make([]byte, btHdrSize)
+	put32(hdr[0:4], btTypeLeaf)
+	put32(hdr[4:8], uint32(count))
+	put64(hdr[8:16], bitmap)
+	return hdr
+}
+
+func slotBytes(key uint64, cell int) []byte {
+	s := make([]byte, btSlotSize)
+	put64(s[0:8], key)
+	put32(s[8:12], uint32(cell))
+	return s
+}
+
+type btInternalView struct {
+	addr     uint64
+	count    int
+	keys     []byte
+	children []byte
+}
+
+func (w *btreeWorkload) loadInternal(b pmem.Backend, addr uint64) (btInternalView, error) {
+	hdr := b.Load(addr, btHdrSize)
+	if le32(hdr[0:4]) != btTypeInternal {
+		return btInternalView{}, fmt.Errorf("btree: node %#x is not internal (type %d)", addr, le32(hdr[0:4]))
+	}
+	v := btInternalView{addr: addr, count: int(le32(hdr[4:8]))}
+	if v.count > 0 {
+		v.keys = b.Load(addr+btHdrSize, v.count*8)
+	}
+	v.children = b.Load(addr+btChildBase, (v.count+1)*8)
+	return v, nil
+}
+
+func (v btInternalView) key(i int) uint64   { return le64(v.keys[i*8:]) }
+func (v btInternalView) child(i int) uint64 { return le64(v.children[i*8:]) }
+
+// childIndex returns the index of the child to descend into for key.
+func (v btInternalView) childIndex(key uint64) int {
+	// First key strictly greater than `key`; equal keys go right.
+	lo, hi := 0, v.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.key(mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Step inserts a fresh random key with a deterministic payload.
+func (w *btreeWorkload) Step(tm *pmem.TxManager) error {
+	key := w.rng.Uint64() >> 1 // keep clear of ^uint64(0) sentinels
+	for w.inserted[key] {
+		key = w.rng.Uint64() >> 1
+	}
+	val := make([]byte, w.valueSize)
+	fill(val, key)
+	if err := w.insert(tm, key, val); err != nil {
+		return err
+	}
+	w.inserted[key] = true
+	return nil
+}
+
+func (w *btreeWorkload) insert(tm *pmem.TxManager, key uint64, val []byte) error {
+	b := tm.Backend()
+	m := w.loadMeta(b)
+	// Descend, remembering the path of internal nodes.
+	var path []btInternalView
+	node := m.root
+	for level := m.height; level > 1; level-- {
+		iv, err := w.loadInternal(b, node)
+		if err != nil {
+			return err
+		}
+		path = append(path, iv)
+		node = iv.child(iv.childIndex(key))
+	}
+	leaf, err := w.loadLeaf(b, node)
+	if err != nil {
+		return err
+	}
+
+	tx := tm.Begin()
+	if leaf.count < w.leafCap {
+		// Fast path: claim a free cell, write the value and one slot,
+		// bump the header.
+		cell := freeCell(leaf.bitmap, w.leafCap)
+		tx.Write(w.cellAddr(leaf.addr, cell), val)
+		tx.Write(leaf.addr+btHdrSize+uint64(leaf.count)*btSlotSize, slotBytes(key, cell))
+		tx.Write(leaf.addr, leafHdr(leaf.count+1, leaf.bitmap|1<<uint(cell)))
+		tx.Write(w.meta+16, u64bytes(m.count+1))
+		return tx.Commit()
+	}
+
+	// Split: sort the entries, keep the lower half's value cells in
+	// place (rewriting only the slot area and header), move the upper
+	// half into a fresh right leaf, and push the separator upward. The
+	// triggering insert then retries into the halved leaf.
+	entries, err := w.leafEntries(b, leaf)
+	if err != nil {
+		tx.Abort()
+		return err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	mid := len(entries) / 2
+	lower, upper := entries[:mid], entries[mid:]
+
+	rightAddr, err := w.heap.Alloc(uint64(w.leafSize))
+	if err != nil {
+		tx.Abort()
+		return fmt.Errorf("btree: %w", err)
+	}
+	var rightBitmap uint64
+	rightSlots := make([]byte, len(upper)*btSlotSize)
+	for i, e := range upper {
+		tx.WriteFresh(w.cellAddr(rightAddr, i), e.value)
+		copy(rightSlots[i*btSlotSize:], slotBytes(e.key, i))
+		rightBitmap |= 1 << uint(i)
+	}
+	tx.WriteFresh(rightAddr+btHdrSize, rightSlots)
+	tx.WriteFresh(rightAddr, leafHdr(len(upper), rightBitmap))
+
+	var leftBitmap uint64
+	leftSlots := make([]byte, len(lower)*btSlotSize)
+	for i, e := range lower {
+		copy(leftSlots[i*btSlotSize:], slotBytes(e.key, e.cell))
+		leftBitmap |= 1 << uint(e.cell)
+	}
+	tx.Write(leaf.addr+btHdrSize, leftSlots)
+	tx.Write(leaf.addr, leafHdr(len(lower), leftBitmap))
+
+	sep := upper[0].key
+	if err := w.insertUp(tx, m, path, sep, rightAddr); err != nil {
+		tx.Abort()
+		return err
+	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	return w.insert(tm, key, val)
+}
+
+// freeCell returns the lowest unoccupied cell index.
+func freeCell(bitmap uint64, capacity int) int {
+	for i := 0; i < capacity; i++ {
+		if bitmap&(1<<uint(i)) == 0 {
+			return i
+		}
+	}
+	panic("btree: no free cell in a non-full leaf")
+}
+
+// insertUp inserts (sep, right) into the lowest node of path, splitting
+// upward as needed; an empty path grows a new root.
+func (w *btreeWorkload) insertUp(tx *pmem.Tx, m btMeta, path []btInternalView, sep uint64, right uint64) error {
+	for i := len(path) - 1; i >= 0; i-- {
+		iv := path[i]
+		keys, children := iv.decode()
+		pos := sort.Search(len(keys), func(j int) bool { return keys[j] > sep })
+		keys = insert64(keys, pos, sep)
+		children = insert64(children, pos+1, right)
+		if len(keys) <= btMaxInternal {
+			// Write only the shifted tails and the count, not the
+			// whole page.
+			tx.Write(iv.addr+4, u32bytes(uint32(len(keys))))
+			tx.Write(iv.addr+btHdrSize+uint64(pos)*8, packU64s(keys[pos:]))
+			tx.Write(iv.addr+btChildBase+uint64(pos)*8, packU64s(children[pos:]))
+			return nil
+		}
+		// Split this internal node: the upper half moves to a fresh
+		// node; the left is rewritten in place (logged).
+		midIdx := len(keys) / 2
+		upKey := keys[midIdx]
+		rightKeys := append([]uint64(nil), keys[midIdx+1:]...)
+		rightChildren := append([]uint64(nil), children[midIdx+1:]...)
+		newRight, err := w.heap.Alloc(btNodeSize)
+		if err != nil {
+			return fmt.Errorf("btree: %w", err)
+		}
+		tx.WriteFresh(newRight, buildInternal(rightKeys, rightChildren))
+		tx.Write(iv.addr, buildInternal(keys[:midIdx], children[:midIdx+1]))
+		sep, right = upKey, newRight
+	}
+	// Root split (or first split of a root leaf): grow a new root.
+	newRoot, err := w.heap.Alloc(btNodeSize)
+	if err != nil {
+		return fmt.Errorf("btree: %w", err)
+	}
+	tx.WriteFresh(newRoot, buildInternal([]uint64{sep}, []uint64{m.root, right}))
+	nm := m
+	nm.root = newRoot
+	nm.height = m.height + 1
+	tx.Write(w.meta, w.metaBytes(nm)[:16]) // root+height only
+	return nil
+}
+
+func (v btInternalView) decode() (keys, children []uint64) {
+	keys = make([]uint64, v.count)
+	for i := range keys {
+		keys[i] = v.key(i)
+	}
+	children = make([]uint64, v.count+1)
+	for i := range children {
+		children[i] = v.child(i)
+	}
+	return keys, children
+}
+
+func insert64(s []uint64, pos int, v uint64) []uint64 {
+	s = append(s, 0)
+	copy(s[pos+1:], s[pos:])
+	s[pos] = v
+	return s
+}
+
+func u32bytes(v uint32) []byte {
+	var b [4]byte
+	put32(b[:], v)
+	return b[:]
+}
+
+func packU64s(vs []uint64) []byte {
+	out := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		put64(out[i*8:], v)
+	}
+	return out
+}
+
+func buildInternal(keys, children []uint64) []byte {
+	page := make([]byte, btNodeSize)
+	put32(page[0:4], btTypeInternal)
+	put32(page[4:8], uint32(len(keys)))
+	for i, k := range keys {
+		put64(page[btHdrSize+i*8:], k)
+	}
+	for i, c := range children {
+		put64(page[btChildBase+i*8:], c)
+	}
+	return page
+}
+
+func (w *btreeWorkload) leafEntries(b pmem.Backend, v btLeafView) ([]btEntry, error) {
+	entries := make([]btEntry, 0, v.count)
+	for i := 0; i < v.count; i++ {
+		key, cell := v.slot(i)
+		if cell < 0 || cell >= w.leafCap {
+			return nil, fmt.Errorf("btree: leaf %#x slot %d cell %d out of range", v.addr, i, cell)
+		}
+		entries = append(entries, btEntry{key: key, cell: cell, value: b.Load(w.cellAddr(v.addr, cell), w.valueSize)})
+	}
+	return entries, nil
+}
+
+// Lookup searches for a key, returning its payload (read-only traffic).
+func (w *btreeWorkload) Lookup(b pmem.Backend, key uint64) ([]byte, bool, error) {
+	m := w.loadMeta(b)
+	node := m.root
+	for level := m.height; level > 1; level-- {
+		iv, err := w.loadInternal(b, node)
+		if err != nil {
+			return nil, false, err
+		}
+		node = iv.child(iv.childIndex(key))
+	}
+	leaf, err := w.loadLeaf(b, node)
+	if err != nil {
+		return nil, false, err
+	}
+	for i := 0; i < leaf.count; i++ {
+		k, cell := leaf.slot(i)
+		if k == key {
+			return b.Load(w.cellAddr(leaf.addr, cell), w.valueSize), true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func (w *btreeWorkload) Verify(b pmem.Backend) error {
+	m := w.loadMeta(b)
+	if m.count != uint64(len(w.inserted)) {
+		return fmt.Errorf("btree: meta count %d, inserted %d", m.count, len(w.inserted))
+	}
+	found := 0
+	var walk func(addr uint64, level uint64, lo, hi uint64) error
+	walk = func(addr uint64, level uint64, lo, hi uint64) error {
+		if level > 1 {
+			iv, err := w.loadInternal(b, addr)
+			if err != nil {
+				return err
+			}
+			prev := lo
+			for i := 0; i < iv.count; i++ {
+				k := iv.key(i)
+				if k < prev || k >= hi {
+					return fmt.Errorf("btree: internal %#x key %d outside (%d,%d)", addr, k, prev, hi)
+				}
+				prev = k
+			}
+			for i := 0; i <= iv.count; i++ {
+				clo, chi := lo, hi
+				if i > 0 {
+					clo = iv.key(i - 1)
+				}
+				if i < iv.count {
+					chi = iv.key(i)
+				}
+				if err := walk(iv.child(i), level-1, clo, chi); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		leaf, err := w.loadLeaf(b, addr)
+		if err != nil {
+			return err
+		}
+		seenCells := uint64(0)
+		for i := 0; i < leaf.count; i++ {
+			k, cell := leaf.slot(i)
+			if k < lo || k >= hi {
+				return fmt.Errorf("btree: leaf %#x key %d outside [%d,%d)", addr, k, lo, hi)
+			}
+			if !w.inserted[k] {
+				return fmt.Errorf("btree: phantom key %d", k)
+			}
+			if leaf.bitmap&(1<<uint(cell)) == 0 {
+				return fmt.Errorf("btree: leaf %#x slot %d references unoccupied cell %d", addr, i, cell)
+			}
+			if seenCells&(1<<uint(cell)) != 0 {
+				return fmt.Errorf("btree: leaf %#x cell %d referenced twice", addr, cell)
+			}
+			seenCells |= 1 << uint(cell)
+			if !checkFill(b.Load(w.cellAddr(addr, cell), w.valueSize), k) {
+				return fmt.Errorf("btree: key %d payload corrupt", k)
+			}
+			found++
+		}
+		return nil
+	}
+	if err := walk(m.root, m.height, 0, ^uint64(0)); err != nil {
+		return err
+	}
+	if found != len(w.inserted) {
+		return fmt.Errorf("btree: found %d keys, inserted %d", found, len(w.inserted))
+	}
+	return nil
+}

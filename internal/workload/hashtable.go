@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"supermem/internal/alloc"
+	"supermem/internal/config"
+	"supermem/internal/pmem"
+)
+
+// hashWorkload is the paper's "hash table" microbenchmark: chained
+// hashing with items inserted into random buckets, which exhibits poor
+// spatial locality across transactions (Section 5.4).
+//
+// Layout:
+//
+//	bucket array: Items slots of 8 bytes, each the head pointer of a
+//	chain (0 = empty).
+//	item: [0:8] key, [8:16] next pointer, [16:20] value length,
+//	[20:24] pad, value bytes from offset 24.
+type hashWorkload struct {
+	heap      *alloc.Heap
+	buckets   uint64 // base of the bucket array
+	nbuckets  uint64
+	valueSize int
+	rng       *rand.Rand
+	inserted  map[uint64]bool
+	keys      []uint64 // insertion order, for random lookups
+	itemAddrs []uint64 // all allocated items, for Verify bookkeeping
+}
+
+const hashItemHeader = 24
+
+func newHashTable(p Params) (*hashWorkload, error) {
+	n := uint64(p.Items)
+	base, err := p.Heap.Alloc(n * 8)
+	if err != nil {
+		return nil, fmt.Errorf("hashtable: %w", err)
+	}
+	valueSize := p.TxBytes - hashItemHeader - 8 // minus bucket pointer write
+	if valueSize < 8 {
+		valueSize = 8
+	}
+	return &hashWorkload{
+		heap:      p.Heap,
+		buckets:   base,
+		nbuckets:  n,
+		valueSize: valueSize,
+		rng:       newRand(p.Seed),
+		inserted:  make(map[uint64]bool),
+	}, nil
+}
+
+func (w *hashWorkload) Name() string { return "hashtable" }
+
+func hashKey(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func (w *hashWorkload) bucketAddr(key uint64) uint64 {
+	return w.buckets + (hashKey(key)%w.nbuckets)*8
+}
+
+func (w *hashWorkload) Setup(tm *pmem.TxManager) error {
+	b := tm.Backend()
+	// Zero the bucket array so chains start empty.
+	zero := make([]byte, config.LineSize)
+	for off := uint64(0); off < w.nbuckets*8; off += config.LineSize {
+		n := w.nbuckets*8 - off
+		if n > config.LineSize {
+			n = config.LineSize
+		}
+		setupStore(b, w.buckets+off, zero[:n])
+	}
+	return nil
+}
+
+// Step looks up a random existing item (pointer-chasing reads into old
+// pages — the access pattern behind the hash table's counter cache
+// sensitivity in Figure 17a), then inserts a fresh random key.
+func (w *hashWorkload) Step(tm *pmem.TxManager) error {
+	b := tm.Backend()
+	if len(w.keys) > 0 {
+		if _, err := w.Lookup(b, w.keys[w.rng.Intn(len(w.keys))]); err != nil {
+			return err
+		}
+	}
+	key := w.rng.Uint64()
+	for w.inserted[key] || key == 0 {
+		key = w.rng.Uint64()
+	}
+	// Probe the chain (reads), as an insert must to detect duplicates.
+	bucket := w.bucketAddr(key)
+	head := le64(b.Load(bucket, 8))
+	for cur := head; cur != 0; {
+		hdr := b.Load(cur, hashItemHeader)
+		if le64(hdr[0:8]) == key {
+			return fmt.Errorf("hashtable: duplicate key %d in chain", key)
+		}
+		cur = le64(hdr[8:16])
+	}
+
+	item := make([]byte, hashItemHeader+w.valueSize)
+	put64(item[0:8], key)
+	put64(item[8:16], head)
+	put32(item[16:20], uint32(w.valueSize))
+	fill(item[hashItemHeader:], key)
+
+	// Allocation metadata is volatile bookkeeping (a real allocator
+	// would persist its state; the paper's workloads measure the data
+	// path).
+	addr, err := w.heap.Alloc(uint64(len(item)))
+	if err != nil {
+		return fmt.Errorf("hashtable: %w", err)
+	}
+	tx := tm.Begin()
+	tx.Write(addr, item)
+	tx.Write(bucket, u64bytes(addr))
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("hashtable: %w", err)
+	}
+	w.inserted[key] = true
+	w.keys = append(w.keys, key)
+	w.itemAddrs = append(w.itemAddrs, addr)
+	return nil
+}
+
+// Lookup walks the key's chain and returns its value bytes; a missing
+// key is an error, since the workload only looks up inserted keys.
+func (w *hashWorkload) Lookup(b pmem.Backend, key uint64) ([]byte, error) {
+	cur := le64(b.Load(w.bucketAddr(key), 8))
+	for cur != 0 {
+		hdr := b.Load(cur, hashItemHeader)
+		if le64(hdr[0:8]) == key {
+			vlen := int(le32(hdr[16:20]))
+			return b.Load(cur+hashItemHeader, vlen), nil
+		}
+		cur = le64(hdr[8:16])
+	}
+	return nil, fmt.Errorf("hashtable: lookup of inserted key %d failed", key)
+}
+
+func (w *hashWorkload) Verify(b pmem.Backend) error {
+	found := 0
+	for i := uint64(0); i < w.nbuckets; i++ {
+		bucket := w.buckets + i*8
+		cur := le64(b.Load(bucket, 8))
+		hops := 0
+		for cur != 0 {
+			hdr := b.Load(cur, hashItemHeader)
+			key := le64(hdr[0:8])
+			if hashKey(key)%w.nbuckets != i {
+				return fmt.Errorf("hashtable: key %d found in bucket %d, want %d", key, i, hashKey(key)%w.nbuckets)
+			}
+			if !w.inserted[key] {
+				return fmt.Errorf("hashtable: phantom key %d", key)
+			}
+			vlen := int(le32(hdr[16:20]))
+			if vlen != w.valueSize {
+				return fmt.Errorf("hashtable: key %d value length %d, want %d", key, vlen, w.valueSize)
+			}
+			if !checkFill(b.Load(cur+hashItemHeader, vlen), key) {
+				return fmt.Errorf("hashtable: key %d payload corrupt", key)
+			}
+			found++
+			cur = le64(hdr[8:16])
+			if hops++; hops > len(w.inserted)+1 {
+				return fmt.Errorf("hashtable: cycle in bucket %d", i)
+			}
+		}
+	}
+	if found != len(w.inserted) {
+		return fmt.Errorf("hashtable: found %d items, inserted %d", found, len(w.inserted))
+	}
+	return nil
+}

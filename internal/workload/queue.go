@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+
+	"supermem/internal/config"
+	"supermem/internal/pmem"
+)
+
+// queueWorkload is the paper's "queue" microbenchmark: a persistent
+// ring-buffer FIFO. Enqueues write TxBytes of contiguous payload at the
+// tail plus the metadata line; once warm, steps alternate enqueue and
+// dequeue so the footprint stays bounded. Both directions touch
+// continuous memory, giving the workload its excellent spatial locality
+// (Section 5.4).
+//
+// Ring layout:
+//
+//	meta line (64 B): [0:8] head slot, [8:16] tail slot, [16:24] seq of
+//	head item, [24:32] next seq to enqueue, [32:40] slot count
+//	slot cells: fixed-size cells of itemSize bytes, allocated
+//	individually so the heap stripes them across the program's banks
+//	(each cell itself is contiguous — the locality that matters to
+//	CWC). Item payload is [0:8] sequence number + deterministic fill.
+type queueWorkload struct {
+	meta      uint64
+	slotAddrs []uint64 // immutable after Setup; also persisted for recovery
+	slots     uint64
+	itemSize  int
+	deq       bool // alternate enq/deq once warm
+}
+
+func newQueue(p Params) (*queueWorkload, error) {
+	itemSize := (p.TxBytes + config.LineSize - 1) &^ (config.LineSize - 1)
+	slots := uint64(p.Items)
+	if slots < 4 {
+		slots = 4
+	}
+	meta, err := p.Heap.Alloc(config.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("queue: %w", err)
+	}
+	w := &queueWorkload{meta: meta, slots: slots, itemSize: itemSize}
+	for i := uint64(0); i < slots; i++ {
+		addr, err := p.Heap.Alloc(uint64(itemSize))
+		if err != nil {
+			return nil, fmt.Errorf("queue: %w", err)
+		}
+		w.slotAddrs = append(w.slotAddrs, addr)
+	}
+	return w, nil
+}
+
+func (w *queueWorkload) Name() string { return "queue" }
+
+func (w *queueWorkload) slotAddr(slot uint64) uint64 {
+	return w.slotAddrs[slot%w.slots]
+}
+
+type queueMeta struct {
+	head, tail, headSeq, nextSeq, slots uint64
+}
+
+func (w *queueWorkload) loadMeta(b pmem.Backend) queueMeta {
+	m := b.Load(w.meta, 40)
+	return queueMeta{
+		head: le64(m[0:8]), tail: le64(m[8:16]),
+		headSeq: le64(m[16:24]), nextSeq: le64(m[24:32]), slots: le64(m[32:40]),
+	}
+}
+
+func (w *queueWorkload) metaBytes(m queueMeta) []byte {
+	buf := make([]byte, 40)
+	put64(buf[0:8], m.head)
+	put64(buf[8:16], m.tail)
+	put64(buf[16:24], m.headSeq)
+	put64(buf[24:32], m.nextSeq)
+	put64(buf[32:40], m.slots)
+	return buf
+}
+
+func (w *queueWorkload) Setup(tm *pmem.TxManager) error {
+	setupStore(tm.Backend(), w.meta, w.metaBytes(queueMeta{slots: w.slots}))
+	return nil
+}
+
+func (w *queueWorkload) length(m queueMeta) uint64 { return m.tail - m.head }
+
+func (w *queueWorkload) Step(tm *pmem.TxManager) error {
+	b := tm.Backend()
+	m := w.loadMeta(b)
+	// Fill to half capacity first, then alternate.
+	doDeq := w.deq && w.length(m) > 0
+	if w.length(m) >= w.slots-1 {
+		doDeq = true
+	}
+	w.deq = !w.deq
+	if doDeq {
+		return w.dequeue(tm, m)
+	}
+	return w.enqueue(tm, m)
+}
+
+func (w *queueWorkload) enqueue(tm *pmem.TxManager, m queueMeta) error {
+	item := make([]byte, w.itemSize)
+	put64(item[0:8], m.nextSeq)
+	fill(item[8:], m.nextSeq)
+	newMeta := m
+	newMeta.tail++
+	newMeta.nextSeq++
+	tx := tm.Begin()
+	// The paper's durable transaction backs up every region it
+	// overwrites ("the prepare stage creates a log entry to back up the
+	// data to be written"), so the slot is logged like the metadata.
+	tx.Write(w.slotAddr(m.tail), item)
+	tx.Write(w.meta, w.metaBytes(newMeta))
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("queue enqueue: %w", err)
+	}
+	return nil
+}
+
+func (w *queueWorkload) dequeue(tm *pmem.TxManager, m queueMeta) error {
+	b := tm.Backend()
+	item := b.Load(w.slotAddr(m.head), w.itemSize)
+	if got := le64(item[0:8]); got != m.headSeq {
+		return fmt.Errorf("queue: dequeued seq %d, want %d (FIFO broken)", got, m.headSeq)
+	}
+	newMeta := m
+	newMeta.head++
+	newMeta.headSeq++
+	tx := tm.Begin()
+	tx.Write(w.meta, w.metaBytes(newMeta))
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("queue dequeue: %w", err)
+	}
+	return nil
+}
+
+func (w *queueWorkload) Verify(b pmem.Backend) error {
+	m := w.loadMeta(b)
+	if m.slots != w.slots {
+		return fmt.Errorf("queue: slot count %d, want %d (meta corrupt)", m.slots, w.slots)
+	}
+	if w.length(m) > w.slots {
+		return fmt.Errorf("queue: length %d exceeds capacity %d", w.length(m), w.slots)
+	}
+	seq := m.headSeq
+	for s := m.head; s != m.tail; s++ {
+		item := b.Load(w.slotAddr(s), w.itemSize)
+		if got := le64(item[0:8]); got != seq {
+			return fmt.Errorf("queue: slot %d holds seq %d, want %d", s%w.slots, got, seq)
+		}
+		if !checkFill(item[8:], seq) {
+			return fmt.Errorf("queue: item %d payload corrupt", seq)
+		}
+		seq++
+	}
+	if seq != m.nextSeq {
+		return fmt.Errorf("queue: tail seq %d, meta says next is %d", seq, m.nextSeq)
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"supermem/internal/alloc"
+	"supermem/internal/config"
+	"supermem/internal/pmem"
+)
+
+// rbWorkload is the paper's "RB-tree" microbenchmark: a persistent
+// red-black tree with one item per node, which exhibits poor spatial
+// locality (Section 5.4) — every traversal chases pointers across
+// unrelated pages. The node is one cache line; the value is a separate
+// blob so the transaction still carries TxBytes of payload.
+//
+// Node line (64 B):
+//
+//	[0:8] key, [8:16] left, [16:24] right, [24:32] parent,
+//	[32:40] value address, [40:44] value length, [44:45] color
+//	(1 = red). Address 0 is nil.
+//
+// Meta line: [0:8] root address, [8:16] count.
+type rbWorkload struct {
+	heap      *alloc.Heap
+	meta      uint64
+	valueSize int
+	rng       *rand.Rand
+	inserted  map[uint64]bool
+}
+
+func newRBTree(p Params) (*rbWorkload, error) {
+	meta, err := p.Heap.Alloc(config.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("rbtree: %w", err)
+	}
+	valueSize := p.TxBytes - 2*config.LineSize // node line + meta/parent updates
+	if valueSize < 8 {
+		valueSize = 8
+	}
+	return &rbWorkload{
+		heap:      p.Heap,
+		meta:      meta,
+		valueSize: valueSize,
+		rng:       newRand(p.Seed),
+		inserted:  make(map[uint64]bool),
+	}, nil
+}
+
+func (w *rbWorkload) Name() string { return "rbtree" }
+
+func (w *rbWorkload) Setup(tm *pmem.TxManager) error {
+	setupStore(tm.Backend(), w.meta, make([]byte, 16))
+	return nil
+}
+
+// rbNode is the decoded node; rbCtx is a read-through cache for one
+// operation that tracks dirtied nodes so the transaction writes exactly
+// the lines the operation touched.
+type rbNode struct {
+	key                 uint64
+	left, right, parent uint64
+	valAddr             uint64
+	valLen              uint32
+	red                 bool
+}
+
+type rbCtx struct {
+	w     *rbWorkload
+	b     pmem.Backend
+	nodes map[uint64]*rbNode
+	dirty map[uint64]bool
+	root  uint64
+	rootD bool // root pointer dirtied
+}
+
+func (w *rbWorkload) ctx(b pmem.Backend) *rbCtx {
+	m := b.Load(w.meta, 16)
+	return &rbCtx{
+		w:     w,
+		b:     b,
+		nodes: make(map[uint64]*rbNode),
+		dirty: make(map[uint64]bool),
+		root:  le64(m[0:8]),
+	}
+}
+
+func (c *rbCtx) get(addr uint64) *rbNode {
+	if addr == 0 {
+		return nil
+	}
+	if n, ok := c.nodes[addr]; ok {
+		return n
+	}
+	raw := c.b.Load(addr, config.LineSize)
+	n := &rbNode{
+		key:     le64(raw[0:8]),
+		left:    le64(raw[8:16]),
+		right:   le64(raw[16:24]),
+		parent:  le64(raw[24:32]),
+		valAddr: le64(raw[32:40]),
+		valLen:  le32(raw[40:44]),
+		red:     raw[44] == 1,
+	}
+	c.nodes[addr] = n
+	return n
+}
+
+func (c *rbCtx) mark(addr uint64) { c.dirty[addr] = true }
+
+func (c *rbCtx) setRoot(addr uint64) {
+	c.root = addr
+	c.rootD = true
+}
+
+func encodeRBNode(n *rbNode) []byte {
+	buf := make([]byte, config.LineSize)
+	put64(buf[0:8], n.key)
+	put64(buf[8:16], n.left)
+	put64(buf[16:24], n.right)
+	put64(buf[24:32], n.parent)
+	put64(buf[32:40], n.valAddr)
+	put32(buf[40:44], n.valLen)
+	if n.red {
+		buf[44] = 1
+	}
+	return buf
+}
+
+func (c *rbCtx) isRed(addr uint64) bool {
+	n := c.get(addr)
+	return n != nil && n.red
+}
+
+// rotateLeft / rotateRight are the CLRS rotations over the context.
+func (c *rbCtx) rotateLeft(x uint64) {
+	nx := c.get(x)
+	y := nx.right
+	ny := c.get(y)
+	nx.right = ny.left
+	if ny.left != 0 {
+		c.get(ny.left).parent = x
+		c.mark(ny.left)
+	}
+	ny.parent = nx.parent
+	if nx.parent == 0 {
+		c.setRoot(y)
+	} else {
+		p := c.get(nx.parent)
+		if p.left == x {
+			p.left = y
+		} else {
+			p.right = y
+		}
+		c.mark(nx.parent)
+	}
+	ny.left = x
+	nx.parent = y
+	c.mark(x)
+	c.mark(y)
+}
+
+func (c *rbCtx) rotateRight(x uint64) {
+	nx := c.get(x)
+	y := nx.left
+	ny := c.get(y)
+	nx.left = ny.right
+	if ny.right != 0 {
+		c.get(ny.right).parent = x
+		c.mark(ny.right)
+	}
+	ny.parent = nx.parent
+	if nx.parent == 0 {
+		c.setRoot(y)
+	} else {
+		p := c.get(nx.parent)
+		if p.right == x {
+			p.right = y
+		} else {
+			p.left = y
+		}
+		c.mark(nx.parent)
+	}
+	ny.right = x
+	nx.parent = y
+	c.mark(x)
+	c.mark(y)
+}
+
+// Step inserts a fresh random key with its payload blob.
+func (w *rbWorkload) Step(tm *pmem.TxManager) error {
+	key := w.rng.Uint64()
+	for w.inserted[key] || key == 0 {
+		key = w.rng.Uint64()
+	}
+	b := tm.Backend()
+	c := w.ctx(b)
+
+	// BST descent (pointer-chasing reads).
+	var parent uint64
+	cur := c.root
+	for cur != 0 {
+		n := c.get(cur)
+		parent = cur
+		if key < n.key {
+			cur = n.left
+		} else if key > n.key {
+			cur = n.right
+		} else {
+			return fmt.Errorf("rbtree: duplicate key %d", key)
+		}
+	}
+
+	val := make([]byte, w.valueSize)
+	fill(val, key)
+	valAddr, err := w.heap.Alloc(uint64(w.valueSize))
+	if err != nil {
+		return fmt.Errorf("rbtree: %w", err)
+	}
+	nodeAddr, err := w.heap.Alloc(config.LineSize)
+	if err != nil {
+		return fmt.Errorf("rbtree: %w", err)
+	}
+	c.nodes[nodeAddr] = &rbNode{key: key, parent: parent, valAddr: valAddr, valLen: uint32(w.valueSize), red: true}
+	c.mark(nodeAddr)
+	if parent == 0 {
+		c.setRoot(nodeAddr)
+	} else {
+		p := c.get(parent)
+		if key < p.key {
+			p.left = nodeAddr
+		} else {
+			p.right = nodeAddr
+		}
+		c.mark(parent)
+	}
+
+	// CLRS insert fixup.
+	z := nodeAddr
+	for z != c.root && c.isRed(c.get(z).parent) {
+		zp := c.get(z).parent
+		zpp := c.get(zp).parent
+		gp := c.get(zpp)
+		if zp == gp.left {
+			uncle := gp.right
+			if c.isRed(uncle) {
+				c.get(zp).red = false
+				c.get(uncle).red = false
+				gp.red = true
+				c.mark(zp)
+				c.mark(uncle)
+				c.mark(zpp)
+				z = zpp
+			} else {
+				if z == c.get(zp).right {
+					z = zp
+					c.rotateLeft(z)
+					zp = c.get(z).parent
+					zpp = c.get(zp).parent
+				}
+				c.get(zp).red = false
+				c.get(zpp).red = true
+				c.mark(zp)
+				c.mark(zpp)
+				c.rotateRight(zpp)
+			}
+		} else {
+			uncle := gp.left
+			if c.isRed(uncle) {
+				c.get(zp).red = false
+				c.get(uncle).red = false
+				gp.red = true
+				c.mark(zp)
+				c.mark(uncle)
+				c.mark(zpp)
+				z = zpp
+			} else {
+				if z == c.get(zp).left {
+					z = zp
+					c.rotateRight(z)
+					zp = c.get(z).parent
+					zpp = c.get(zp).parent
+				}
+				c.get(zp).red = false
+				c.get(zpp).red = true
+				c.mark(zp)
+				c.mark(zpp)
+				c.rotateLeft(zpp)
+			}
+		}
+	}
+	if rn := c.get(c.root); rn != nil && rn.red {
+		rn.red = false
+		c.mark(c.root)
+	}
+
+	// One durable transaction: the value blob, every dirtied node line,
+	// and the meta line (root + count). Dirty addresses are sorted so
+	// the emitted op stream is deterministic across runs.
+	tx := tm.Begin()
+	tx.Write(valAddr, val)
+	dirtyAddrs := make([]uint64, 0, len(c.dirty))
+	for addr := range c.dirty {
+		dirtyAddrs = append(dirtyAddrs, addr)
+	}
+	sort.Slice(dirtyAddrs, func(i, j int) bool { return dirtyAddrs[i] < dirtyAddrs[j] })
+	for _, addr := range dirtyAddrs {
+		tx.Write(addr, encodeRBNode(c.nodes[addr]))
+	}
+	metaBuf := make([]byte, 16)
+	put64(metaBuf[0:8], c.root)
+	put64(metaBuf[8:16], uint64(len(w.inserted)+1))
+	tx.Write(w.meta, metaBuf)
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("rbtree: %w", err)
+	}
+	w.inserted[key] = true
+	return nil
+}
+
+func (w *rbWorkload) Verify(b pmem.Backend) error {
+	m := b.Load(w.meta, 16)
+	root := le64(m[0:8])
+	count := le64(m[8:16])
+	if count != uint64(len(w.inserted)) {
+		return fmt.Errorf("rbtree: meta count %d, inserted %d", count, len(w.inserted))
+	}
+	c := w.ctx(b)
+	if c.isRed(root) {
+		return fmt.Errorf("rbtree: red root")
+	}
+	found := 0
+	var walk func(addr uint64, lo, hi uint64) (blackHeight int, err error)
+	walk = func(addr uint64, lo, hi uint64) (int, error) {
+		if addr == 0 {
+			return 1, nil
+		}
+		n := c.get(addr)
+		if n.key <= lo || n.key >= hi {
+			return 0, fmt.Errorf("rbtree: key %d outside (%d,%d)", n.key, lo, hi)
+		}
+		if !w.inserted[n.key] {
+			return 0, fmt.Errorf("rbtree: phantom key %d", n.key)
+		}
+		if n.red && (c.isRed(n.left) || c.isRed(n.right)) {
+			return 0, fmt.Errorf("rbtree: red-red violation at key %d", n.key)
+		}
+		if !checkFill(b.Load(n.valAddr, int(n.valLen)), n.key) {
+			return 0, fmt.Errorf("rbtree: key %d payload corrupt", n.key)
+		}
+		found++
+		lh, err := walk(n.left, lo, n.key)
+		if err != nil {
+			return 0, err
+		}
+		rh, err := walk(n.right, n.key, hi)
+		if err != nil {
+			return 0, err
+		}
+		if lh != rh {
+			return 0, fmt.Errorf("rbtree: black-height mismatch at key %d (%d vs %d)", n.key, lh, rh)
+		}
+		if !n.red {
+			lh++
+		}
+		return lh, nil
+	}
+	if _, err := walk(root, 0, ^uint64(0)); err != nil {
+		return err
+	}
+	if found != len(w.inserted) {
+		return fmt.Errorf("rbtree: found %d keys, inserted %d", found, len(w.inserted))
+	}
+	return nil
+}
