@@ -11,27 +11,51 @@
 //	supermem-bench -exp table1                # recoverability sweep
 //	supermem-bench -exp ablation              # placement & coalescing ablations
 //	supermem-bench -exp all                   # everything
+//	supermem-bench -exp all -parallel 1       # serial (identical output)
+//	supermem-bench -exp fig13 -json           # also write BENCH_fig13_*.json
 //
 // Sizing knobs: -transactions, -warmup, -footprint, -seed. Latency
 // tables print both raw cycles and the paper's normalized-to-Unsec
 // form.
+//
+// Every figure is a grid of independent deterministic simulations;
+// -parallel N fans the grid across N workers (default: all CPUs) with
+// byte-identical output at any setting. A per-experiment trace cache
+// records each workload's op streams once and replays them per scheme.
+// -json additionally writes one BENCH_<exp>.json artifact per
+// experiment with the wall time, cache counters, and table data.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"supermem"
 )
 
+// artifact is the machine-readable per-experiment record -json emits.
+type artifact struct {
+	Experiment string            `json:"experiment"`
+	WallMillis int64             `json:"wall_ms"`
+	Parallel   int               `json:"parallel"`
+	CacheHits  int64             `json:"trace_cache_hits"`
+	CacheMiss  int64             `json:"trace_cache_misses"`
+	Tables     []*supermem.Table `json:"tables,omitempty"`
+	Text       string            `json:"text,omitempty"`
+}
+
 func main() {
 	var (
 		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, all")
 		csv          = flag.Bool("csv", false, "print tables as CSV instead of aligned text")
+		jsonOut      = flag.Bool("json", false, "write a BENCH_<exp>.json artifact per experiment (wall time + tables)")
 		txBytes      = flag.Int("tx", 0, "restrict fig13/fig15 to one transaction size (256, 1024, 4096); 0 = all three")
+		parallel     = flag.Int("parallel", runtime.NumCPU(), "simulation cells run concurrently (1 = serial; output is identical)")
 		transactions = flag.Int("transactions", 0, "measured transactions per core (0 = default)")
 		warmup       = flag.Int("warmup", 0, "warmup transactions per core (0 = auto)")
 		footprint    = flag.Uint64("footprint", 0, "per-program footprint in bytes (0 = default 8 MiB)")
@@ -52,9 +76,15 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	opts.Parallel = *parallel
 	cfg := supermem.DefaultConfig()
 
+	// Each experiment collects its printed tables so -json can emit the
+	// same data as a machine-readable artifact.
+	var collected []*supermem.Table
+	var collectedText string
 	show := func(t *supermem.Table) {
+		collected = append(collected, t)
 		if *csv {
 			fmt.Println(t.Title)
 			fmt.Print(t.CSV())
@@ -70,12 +100,33 @@ func main() {
 	}
 
 	run := func(name string, fn func() error) {
+		collected, collectedText = nil, ""
 		start := time.Now()
+		hits0, miss0 := supermem.TraceCacheStats()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "supermem-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		hits, miss := supermem.TraceCacheStats()
+		dh, dm := hits-hits0, miss-miss0
+		if dh+dm > 0 {
+			fmt.Printf("[%s done in %s; trace cache %d hits / %d misses]\n\n",
+				name, wall.Round(time.Millisecond), dh, dm)
+		} else {
+			fmt.Printf("[%s done in %s]\n\n", name, wall.Round(time.Millisecond))
+		}
+		if *jsonOut {
+			writeArtifact(artifact{
+				Experiment: name,
+				WallMillis: wall.Milliseconds(),
+				Parallel:   *parallel,
+				CacheHits:  dh,
+				CacheMiss:  dm,
+				Tables:     collected,
+				Text:       collectedText,
+			})
+		}
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
@@ -84,10 +135,11 @@ func main() {
 	if want("table1") {
 		ran = true
 		run("table1", func() error {
-			res, err := supermem.Table1()
+			res, err := supermem.Table1Parallel(*parallel)
 			if err != nil {
 				return err
 			}
+			collectedText = res.String()
 			fmt.Println(res)
 			return nil
 		})
@@ -197,4 +249,21 @@ func main() {
 			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "all"}, ", "))
 		os.Exit(2)
 	}
+}
+
+// writeArtifact saves one experiment's JSON record as
+// BENCH_<name>.json, with path separators in the name flattened.
+func writeArtifact(a artifact) {
+	name := strings.NewReplacer("/", "_", " ", "_").Replace(a.Experiment)
+	path := fmt.Sprintf("BENCH_%s.json", name)
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: encoding %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("[wrote %s]\n\n", path)
 }

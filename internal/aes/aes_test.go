@@ -140,6 +140,35 @@ func TestSboxSpotValues(t *testing.T) {
 	}
 }
 
+// TestXtimeTable verifies the precomputed table against the functional
+// definition for every byte, plus the FIPS-197 §4.2.1 worked examples.
+// The vector tests above re-verify the whole cipher (and therefore the
+// table-driven mixColumns) against FIPS-197 Appendices A-C end to end.
+func TestXtimeTable(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if xtimeTab[i] != xtime(byte(i)) {
+			t.Fatalf("xtimeTab[%#x] = %#x, want %#x", i, xtimeTab[i], xtime(byte(i)))
+		}
+	}
+	// {02}*{57}={ae}, {02}*{ae}={47} (from the {57}*{13} example chain).
+	if xtimeTab[0x57] != 0xae || xtimeTab[0xae] != 0x47 {
+		t.Fatalf("xtimeTab FIPS examples: got %#x, %#x", xtimeTab[0x57], xtimeTab[0xae])
+	}
+}
+
+// TestMixColumnsVector checks the table-driven mixColumns against the
+// standard worked column: (db,13,53,45) -> (8e,4d,a1,bc).
+func TestMixColumnsVector(t *testing.T) {
+	s := [16]byte{0xdb, 0x13, 0x53, 0x45}
+	mixColumns(&s)
+	want := [4]byte{0x8e, 0x4d, 0xa1, 0xbc}
+	for i, w := range want {
+		if s[i] != w {
+			t.Fatalf("mixColumns column = % x, want % x", s[:4], want)
+		}
+	}
+}
+
 func BenchmarkEncrypt(b *testing.B) {
 	c, _ := New(make([]byte, 16))
 	buf := make([]byte, 16)

@@ -31,22 +31,19 @@ func AblationPlacement(base config.Config, o Opts) (*stats.Table, error) {
 	for i, v := range variants {
 		cols[i] = v.name
 	}
-	t := stats.NewTable("Ablation: write-through counter placement x CWC, 1KB tx latency (cycles)", cols...)
-	for _, wl := range workload.Names {
-		row := make([]float64, 0, len(variants))
-		for _, v := range variants {
+	t, err := runGrid(o,
+		"Ablation: write-through counter placement x CWC, 1KB tx latency (cycles)",
+		cols,
+		func(ri, ci int) Spec {
 			cfg := base
-			p := v.placement
-			c := v.cwc
-			cfg.PlacementOverride = &p
-			cfg.CWCOverride = &c
-			m, err := Run(o.spec(cfg, wl, config.WT, 1024, 1))
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s/%s: %w", wl, v.name, err)
-			}
-			row = append(row, m.AvgTxCycles())
-		}
-		t.AddRow(wl, row...)
+			v := variants[ci]
+			cfg.PlacementOverride = &v.placement
+			cfg.CWCOverride = &v.cwc
+			return o.spec(cfg, workload.Names[ri], config.WT, 1024, 1)
+		},
+		stats.Metrics.AvgTxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("ablation placement %w", err)
 	}
 	return t, nil
 }
@@ -60,22 +57,19 @@ func AblationTxSizeCoalescing(base config.Config, o Opts) (*stats.Table, error) 
 	for i, s := range sizes {
 		cols[i] = fmt.Sprintf("%dB", s)
 	}
-	t := stats.NewTable("Ablation: % counter writes coalesced by transaction size (SuperMem)", cols...)
-	for _, wl := range workload.Names {
-		row := make([]float64, 0, len(sizes))
-		for _, size := range sizes {
-			m, err := Run(o.spec(base, wl, config.SuperMem, size, 1))
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s/%dB: %w", wl, size, err)
-			}
+	t, err := runGrid(o,
+		"Ablation: % counter writes coalesced by transaction size (SuperMem)",
+		cols,
+		func(ri, ci int) Spec { return o.spec(base, workload.Names[ri], config.SuperMem, sizes[ci], 1) },
+		func(m stats.Metrics) float64 {
 			total := m.CounterWrites + m.CoalescedWrites
-			pct := 0.0
-			if total > 0 {
-				pct = 100 * float64(m.CoalescedWrites) / float64(total)
+			if total == 0 {
+				return 0
 			}
-			row = append(row, pct)
-		}
-		t.AddRow(wl, row...)
+			return 100 * float64(m.CoalescedWrites) / float64(total)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("ablation coalescing %w", err)
 	}
 	return t, nil
 }
@@ -92,17 +86,13 @@ func ExtensionSCA(base config.Config, o Opts) (*stats.Table, error) {
 	for i, s := range schemes {
 		cols[i] = s.String()
 	}
-	t := stats.NewTable("Extension: SCA baseline vs paper schemes, 1KB tx latency (cycles)", cols...)
-	for _, wl := range workload.Names {
-		row := make([]float64, 0, len(schemes))
-		for _, s := range schemes {
-			m, err := Run(o.spec(base, wl, s, 1024, 1))
-			if err != nil {
-				return nil, fmt.Errorf("sca %s/%v: %w", wl, s, err)
-			}
-			row = append(row, m.AvgTxCycles())
-		}
-		t.AddRow(wl, row...)
+	t, err := runGrid(o,
+		"Extension: SCA baseline vs paper schemes, 1KB tx latency (cycles)",
+		cols,
+		func(ri, ci int) Spec { return o.spec(base, workload.Names[ri], schemes[ci], 1024, 1) },
+		stats.Metrics.AvgTxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("sca %w", err)
 	}
 	return t, nil
 }

@@ -53,6 +53,11 @@ type Opts struct {
 	Warmup         int
 	FootprintBytes uint64
 	Seed           int64
+	// Parallel is the worker count for the cell grid (<= 0 means
+	// GOMAXPROCS). Results are identical at any setting: every cell is
+	// an isolated deterministic simulation and tables are assembled in
+	// declaration order.
+	Parallel int
 }
 
 // DefaultOpts returns sizes balancing fidelity against runtime; the CLI
@@ -73,6 +78,31 @@ func (o Opts) spec(base config.Config, wl string, scheme config.Scheme, txBytes,
 		FootprintBytes: o.FootprintBytes,
 		Seed:           o.Seed,
 	}
+}
+
+// runGrid is the shared figure shape: a workload-per-row grid whose
+// columns are produced by specAt, executed on the parallel runner, with
+// one table value extracted per cell.
+func runGrid(o Opts, title string, cols []string, specAt func(row, col int) Spec, value func(stats.Metrics) float64) (*stats.Table, error) {
+	cells := make([]Cell, 0, len(workload.Names)*len(cols))
+	for ri := range workload.Names {
+		for ci := range cols {
+			cells = append(cells, Cell{Spec: specAt(ri, ci), Row: ri, Col: ci})
+		}
+	}
+	ms, err := NewRunner(o.Parallel).RunCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(title, cols...)
+	for ri, wl := range workload.Names {
+		row := make([]float64, len(cols))
+		for ci := range cols {
+			row[ci] = value(ms[ri*len(cols)+ci])
+		}
+		t.AddRow(wl, row...)
+	}
+	return t, nil
 }
 
 const logRegionSize = 4 << 20 // per-program redo log region
@@ -242,17 +272,14 @@ func schemeColumns() []string {
 // transaction request size. Cells are average transaction latency in
 // cycles; print table.Normalize("Unsec") for the paper's presentation.
 func Fig13(base config.Config, txBytes int, o Opts) (*stats.Table, error) {
-	t := stats.NewTable(fmt.Sprintf("Figure 13: single-core tx latency, %dB transactions (cycles)", txBytes), schemeColumns()...)
-	for _, wl := range workload.Names {
-		row := make([]float64, 0, 6)
-		for _, s := range config.AllSchemes() {
-			m, err := Run(o.spec(base, wl, s, txBytes, 1))
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s/%v: %w", wl, s, err)
-			}
-			row = append(row, m.AvgTxCycles())
-		}
-		t.AddRow(wl, row...)
+	schemes := config.AllSchemes()
+	t, err := runGrid(o,
+		fmt.Sprintf("Figure 13: single-core tx latency, %dB transactions (cycles)", txBytes),
+		schemeColumns(),
+		func(ri, ci int) Spec { return o.spec(base, workload.Names[ri], schemes[ci], txBytes, 1) },
+		stats.Metrics.AvgTxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("fig13 %w", err)
 	}
 	return t, nil
 }
@@ -261,17 +288,14 @@ func Fig13(base config.Config, txBytes int, o Opts) (*stats.Table, error) {
 // given number of programs (2, 4, or 8 in the paper) at 1 KB
 // transactions.
 func Fig14(base config.Config, programs int, o Opts) (*stats.Table, error) {
-	t := stats.NewTable(fmt.Sprintf("Figure 14: %d-program tx latency, 1KB transactions (cycles)", programs), schemeColumns()...)
-	for _, wl := range workload.Names {
-		row := make([]float64, 0, 6)
-		for _, s := range config.AllSchemes() {
-			m, err := Run(o.spec(base, wl, s, 1024, programs))
-			if err != nil {
-				return nil, fmt.Errorf("fig14 %s/%v: %w", wl, s, err)
-			}
-			row = append(row, m.AvgTxCycles())
-		}
-		t.AddRow(wl, row...)
+	schemes := config.AllSchemes()
+	t, err := runGrid(o,
+		fmt.Sprintf("Figure 14: %d-program tx latency, 1KB transactions (cycles)", programs),
+		schemeColumns(),
+		func(ri, ci int) Spec { return o.spec(base, workload.Names[ri], schemes[ci], 1024, programs) },
+		stats.Metrics.AvgTxCycles)
+	if err != nil {
+		return nil, fmt.Errorf("fig14 %w", err)
 	}
 	return t, nil
 }
@@ -279,17 +303,14 @@ func Fig14(base config.Config, programs int, o Opts) (*stats.Table, error) {
 // Fig15 reproduces Figure 15: the number of NVM write requests under
 // each scheme, normalized to Unsec, at the given transaction size.
 func Fig15(base config.Config, txBytes int, o Opts) (*stats.Table, error) {
-	raw := stats.NewTable(fmt.Sprintf("Figure 15: NVM writes, %dB transactions", txBytes), schemeColumns()...)
-	for _, wl := range workload.Names {
-		row := make([]float64, 0, 6)
-		for _, s := range config.AllSchemes() {
-			m, err := Run(o.spec(base, wl, s, txBytes, 1))
-			if err != nil {
-				return nil, fmt.Errorf("fig15 %s/%v: %w", wl, s, err)
-			}
-			row = append(row, float64(m.TotalNVMWrites()))
-		}
-		raw.AddRow(wl, row...)
+	schemes := config.AllSchemes()
+	raw, err := runGrid(o,
+		fmt.Sprintf("Figure 15: NVM writes, %dB transactions", txBytes),
+		schemeColumns(),
+		func(ri, ci int) Spec { return o.spec(base, workload.Names[ri], schemes[ci], txBytes, 1) },
+		func(m stats.Metrics) float64 { return float64(m.TotalNVMWrites()) })
+	if err != nil {
+		return nil, fmt.Errorf("fig15 %w", err)
 	}
 	return raw.Normalize("Unsec"), nil
 }
@@ -304,22 +325,32 @@ func Fig16(base config.Config, o Opts) (reduction, latency *stats.Table, err err
 	for i, l := range lengths {
 		cols[i] = fmt.Sprintf("wq%d", l)
 	}
+	// Each grid point needs a WT and a SuperMem run; interleave them as
+	// adjacent cells so both replay the same cached trace.
+	schemes := []config.Scheme{config.WT, config.SuperMem}
+	var cells []Cell
+	for ri, wl := range workload.Names {
+		for ci, l := range lengths {
+			cfg := base
+			cfg.WriteQueueEntries = l
+			for _, s := range schemes {
+				cells = append(cells, Cell{Spec: o.spec(cfg, wl, s, 1024, 1), Row: ri, Col: ci})
+			}
+		}
+	}
+	ms, err := NewRunner(o.Parallel).RunCells(cells)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fig16 %w", err)
+	}
 	reduction = stats.NewTable("Figure 16a: % counter writes removed vs WT, by write queue length", cols...)
 	latency = stats.NewTable("Figure 16b: SuperMem tx latency (cycles), by write queue length", cols...)
+	i := 0
 	for _, wl := range workload.Names {
 		redRow := make([]float64, 0, len(lengths))
 		latRow := make([]float64, 0, len(lengths))
-		for _, l := range lengths {
-			cfg := base
-			cfg.WriteQueueEntries = l
-			wt, err := Run(o.spec(cfg, wl, config.WT, 1024, 1))
-			if err != nil {
-				return nil, nil, fmt.Errorf("fig16 %s wq%d WT: %w", wl, l, err)
-			}
-			sm, err := Run(o.spec(cfg, wl, config.SuperMem, 1024, 1))
-			if err != nil {
-				return nil, nil, fmt.Errorf("fig16 %s wq%d SuperMem: %w", wl, l, err)
-			}
+		for range lengths {
+			wt, sm := ms[i], ms[i+1]
+			i += 2
 			red := 0.0
 			if wt.CounterWrites > 0 {
 				red = 100 * (1 - float64(sm.CounterWrites)/float64(wt.CounterWrites))
@@ -339,21 +370,28 @@ func Fig16(base config.Config, o Opts) (reduction, latency *stats.Table, err err
 func Fig17(base config.Config, o Opts) (hitRate, execTime *stats.Table, err error) {
 	sizes := []int{1 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
 	cols := []string{"1KB", "16KB", "64KB", "256KB", "1MB", "4MB"}
-	hitRate = stats.NewTable("Figure 17a: counter cache hit rate, by counter cache size", cols...)
-	rawTime := stats.NewTable("Figure 17b: execution time, by counter cache size", cols...)
-	for _, wl := range workload.Names {
-		hitRow := make([]float64, 0, len(sizes))
-		timeRow := make([]float64, 0, len(sizes))
-		for _, size := range sizes {
+	var cells []Cell
+	for ri, wl := range workload.Names {
+		for ci, size := range sizes {
 			cfg := base
 			cfg.CounterCache.SizeBytes = size
 			if size < 64*cfg.CounterCache.Ways {
 				cfg.CounterCache.Ways = size / 64
 			}
-			m, err := Run(o.spec(cfg, wl, config.SuperMem, 1024, 1))
-			if err != nil {
-				return nil, nil, fmt.Errorf("fig17 %s %s: %w", wl, cols[len(hitRow)], err)
-			}
+			cells = append(cells, Cell{Spec: o.spec(cfg, wl, config.SuperMem, 1024, 1), Row: ri, Col: ci})
+		}
+	}
+	ms, err := NewRunner(o.Parallel).RunCells(cells)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fig17 %w", err)
+	}
+	hitRate = stats.NewTable("Figure 17a: counter cache hit rate, by counter cache size", cols...)
+	rawTime := stats.NewTable("Figure 17b: execution time, by counter cache size", cols...)
+	for ri, wl := range workload.Names {
+		hitRow := make([]float64, 0, len(sizes))
+		timeRow := make([]float64, 0, len(sizes))
+		for ci := range sizes {
+			m := ms[ri*len(sizes)+ci]
 			hitRow = append(hitRow, m.CtrCacheHitRate())
 			timeRow = append(timeRow, float64(m.Cycles))
 		}

@@ -1,0 +1,290 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"supermem/internal/core"
+	"supermem/internal/stats"
+	"supermem/internal/trace"
+)
+
+// Cell is one grid cell of a figure: a simulation spec plus the table
+// coordinates its metrics land in. Row/Col are informational (progress
+// reporting); RunCells returns results in input order regardless.
+type Cell struct {
+	Spec     Spec
+	Row, Col int
+}
+
+// Runner executes a slice of independent simulation cells across a
+// worker pool. Each cell builds (or replays from the trace cache) its
+// op streams and runs a fresh core.System, so cells share no mutable
+// state and the aggregated results are byte-identical to a serial run.
+type Runner struct {
+	// Parallel is the worker count; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Progress, if non-nil, is called after each cell finishes with the
+	// completed count, the total, and the finished cell. Calls are
+	// serialized but not ordered by cell index.
+	Progress func(done, total int, c Cell)
+
+	cache *TraceCache
+}
+
+// NewRunner returns a runner with the given worker count (<= 0 means
+// GOMAXPROCS) and a fresh trace cache.
+func NewRunner(parallel int) *Runner {
+	return &Runner{Parallel: parallel, cache: NewTraceCache()}
+}
+
+func (r *Runner) workers() int {
+	if r.Parallel > 0 {
+		return r.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CacheStats reports this runner's trace cache hit/miss counts.
+func (r *Runner) CacheStats() (hits, misses int64) { return r.cache.Stats() }
+
+// RunCells executes every cell and returns the metrics in cell order.
+// Workers run concurrently, but the returned slice (and therefore any
+// table assembled from it) is independent of scheduling. On failure the
+// lowest-index error is returned, so errors are deterministic too.
+func (r *Runner) RunCells(cells []Cell) ([]stats.Metrics, error) {
+	specs := make([]Spec, len(cells))
+	for i, c := range cells {
+		specs[i] = c.Spec
+	}
+	r.cache.Plan(specs)
+	out := make([]stats.Metrics, len(cells))
+	var done atomic.Int64
+	err := forEachIndex(r.workers(), len(cells), func(i int) error {
+		m, err := r.runCell(cells[i].Spec)
+		if err != nil {
+			return fmt.Errorf("%s/%v: %w", cells[i].Spec.Workload, cells[i].Spec.Scheme, err)
+		}
+		out[i] = m
+		if r.Progress != nil {
+			r.Progress(int(done.Add(1)), len(cells), cells[i])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runCell replays a cell's (cached) op streams through a fresh system.
+func (r *Runner) runCell(spec Spec) (stats.Metrics, error) {
+	sources, err := r.cache.Sources(spec)
+	if err != nil {
+		return stats.Metrics{}, err
+	}
+	cfg := spec.Base
+	cfg.Cores = spec.Cores
+	cfg.Scheme = spec.Scheme
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return stats.Metrics{}, err
+	}
+	return sys.Run(sources)
+}
+
+// forEachIndex runs fn(0..n-1) across the given number of workers and
+// waits for all of them. On failure the lowest failing index's error is
+// returned — deterministically: indexes above a recorded failure are
+// skipped (early stop), but an index is never skipped while any lower
+// index might still fail, because the stop marker only moves down and
+// every index below it runs to completion.
+func forEachIndex(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var stop atomic.Int64 // lowest failing index seen so far
+	stop.Store(int64(n))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int64(next.Add(1) - 1)
+				if i >= int64(n) || i > stop.Load() {
+					return
+				}
+				if err := fn(int(i)); err != nil {
+					errs[i] = err
+					for {
+						cur := stop.Load()
+						if i >= cur || stop.CompareAndSwap(cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceKey identifies everything BuildSources' output depends on. The
+// scheme is deliberately absent: the functional trace generation only
+// reads MemBytes/Banks from the config (for the bank layout), so the
+// six schemes of a figure row replay one recorded stream.
+type traceKey struct {
+	workload        string
+	txBytes         int
+	transactions    int
+	warmup          int
+	cores           int
+	footprint       uint64
+	seed            int64
+	singleCoreBanks int
+	banks           int
+	memBytes        uint64
+}
+
+func keyOf(spec Spec) traceKey {
+	return traceKey{
+		workload:        spec.Workload,
+		txBytes:         spec.TxBytes,
+		transactions:    spec.Transactions,
+		warmup:          spec.Warmup,
+		cores:           spec.Cores,
+		footprint:       spec.FootprintBytes,
+		seed:            spec.Seed,
+		singleCoreBanks: spec.SingleCoreBanks,
+		banks:           spec.Base.Banks,
+		memBytes:        spec.Base.MemBytes,
+	}
+}
+
+// traceEntry is one cached recording; ready closes once ops/err are set.
+type traceEntry struct {
+	ready chan struct{}
+	ops   [][]trace.Op
+	err   error
+}
+
+// TraceCache memoizes BuildSources recordings so a figure row's schemes
+// regenerate their op streams once instead of once per scheme. Lookups
+// for a key being built block until the builder finishes (each stream
+// is generated exactly once even under concurrency). When RunCells has
+// planned the cell grid, entries are evicted after their last planned
+// use, bounding memory to the keys currently in flight.
+type TraceCache struct {
+	mu        sync.Mutex
+	entries   map[traceKey]*traceEntry
+	remaining map[traceKey]int
+
+	hits, misses atomic.Int64
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{
+		entries:   make(map[traceKey]*traceEntry),
+		remaining: make(map[traceKey]int),
+	}
+}
+
+// Stats reports cumulative hit/miss counts.
+func (c *TraceCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Plan registers the upcoming uses of each spec's trace so entries can
+// be dropped after their last replay.
+func (c *TraceCache) Plan(specs []Spec) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range specs {
+		c.remaining[keyOf(s)]++
+	}
+}
+
+// Sources returns fresh replay sources for the spec's op streams,
+// recording them on first use.
+func (c *TraceCache) Sources(spec Spec) ([]trace.Source, error) {
+	k := keyOf(spec)
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &traceEntry{ready: make(chan struct{})}
+		c.entries[k] = e
+	}
+	if n, planned := c.remaining[k]; planned {
+		if n <= 1 {
+			// Last planned use: the entry's ops stay alive through the
+			// returned sources, but the cache lets go of them.
+			delete(c.remaining, k)
+			delete(c.entries, k)
+		} else {
+			c.remaining[k] = n - 1
+		}
+	}
+	c.mu.Unlock()
+
+	if !ok {
+		c.misses.Add(1)
+		cacheMisses.Add(1)
+		e.ops, e.err = recordSources(spec)
+		close(e.ready)
+	} else {
+		c.hits.Add(1)
+		cacheHits.Add(1)
+		<-e.ready
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	sources := make([]trace.Source, len(e.ops))
+	for i, ops := range e.ops {
+		sources[i] = trace.NewSliceSource(ops)
+	}
+	return sources, nil
+}
+
+// recordSources materializes a spec's per-core op streams.
+func recordSources(spec Spec) ([][]trace.Op, error) {
+	sources, err := BuildSources(spec)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([][]trace.Op, len(sources))
+	for i, s := range sources {
+		ops[i] = trace.Record(s)
+	}
+	return ops, nil
+}
+
+// Package-wide cache counters, so the CLI can report per-experiment
+// hit/miss deltas across the runners the figure functions create.
+var cacheHits, cacheMisses atomic.Int64
+
+// CacheStats reports the cumulative trace-cache hits and misses across
+// all runners in this process.
+func CacheStats() (hits, misses int64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"supermem/internal/config"
+)
+
+// TestParallelMatchesSerial is the contract that makes the parallel
+// runner safe: a figure computed with one worker and with many workers
+// must render byte-identical tables.
+func TestParallelMatchesSerial(t *testing.T) {
+	o := Opts{Transactions: 15, Warmup: 15, FootprintBytes: 128 << 10, Seed: 1}
+	serial, parallel := o, o
+	serial.Parallel = 1
+	parallel.Parallel = 8
+
+	s13, err := Fig13(tinyBase(), 1024, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p13, err := Fig13(tinyBase(), 1024, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s13.String() != p13.String() {
+		t.Errorf("Fig13 serial vs parallel tables differ:\n%s\nvs\n%s", s13, p13)
+	}
+
+	sRed, sLat, err := Fig16(tinyBase(), serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRed, pLat, err := Fig16(tinyBase(), parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRed.String() != pRed.String() || sLat.String() != pLat.String() {
+		t.Error("Fig16 serial vs parallel tables differ")
+	}
+}
+
+// TestCachedTraceMatchesRebuilt verifies replaying a recorded stream is
+// indistinguishable from regenerating it: the runner's metrics must
+// equal direct Run (which rebuilds sources per call).
+func TestCachedTraceMatchesRebuilt(t *testing.T) {
+	o := tinyOpts()
+	spec := o.spec(tinyBase(), "queue", config.SuperMem, 1024, 1)
+	direct, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(2)
+	// Two identical cells: the second replays the first's recording.
+	ms, err := r.RunCells([]Cell{{Spec: spec}, {Spec: spec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0] != direct || ms[1] != direct {
+		t.Fatalf("cached replay diverged: direct %+v, cells %+v / %+v", direct, ms[0], ms[1])
+	}
+	hits, misses := r.CacheStats()
+	if misses != 1 || hits != 1 {
+		t.Fatalf("cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+// TestRunnerSharesTracesAcrossSchemes asserts the headline cache win: a
+// six-scheme row builds its op streams once, not six times.
+func TestRunnerSharesTracesAcrossSchemes(t *testing.T) {
+	o := Opts{Transactions: 10, Warmup: 10, FootprintBytes: 64 << 10, Seed: 1, Parallel: 4}
+	var cells []Cell
+	for ci, s := range config.AllSchemes() {
+		cells = append(cells, Cell{Spec: o.spec(tinyBase(), "array", s, 256, 1), Col: ci})
+	}
+	r := NewRunner(o.Parallel)
+	if _, err := r.RunCells(cells); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := r.CacheStats()
+	if misses != 1 {
+		t.Errorf("6-scheme row built sources %d times, want 1", misses)
+	}
+	if hits != int64(len(cells)-1) {
+		t.Errorf("cache hits = %d, want %d", hits, len(cells)-1)
+	}
+}
+
+// TestTraceCacheEvictsAfterPlannedUses verifies the memory bound: once
+// every planned replay of a key has happened, the cache drops it.
+func TestTraceCacheEvictsAfterPlannedUses(t *testing.T) {
+	o := Opts{Transactions: 5, Warmup: 5, FootprintBytes: 64 << 10, Seed: 1}
+	spec := o.spec(tinyBase(), "array", config.Unsec, 256, 1)
+	c := NewTraceCache()
+	c.Plan([]Spec{spec, spec})
+	for i := 0; i < 2; i++ {
+		if _, err := c.Sources(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	left := len(c.entries)
+	c.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d cache entries left after last planned use, want 0", left)
+	}
+}
+
+// TestRunCellsErrorPropagation: a failing cell must surface its error,
+// deterministically, and not panic the pool.
+func TestRunCellsErrorPropagation(t *testing.T) {
+	o := Opts{Transactions: 5, Warmup: 5, FootprintBytes: 64 << 10, Seed: 1}
+	cells := []Cell{
+		{Spec: o.spec(tinyBase(), "array", config.Unsec, 256, 1)},
+		{Spec: o.spec(tinyBase(), "nope", config.WT, 256, 1)},
+		{Spec: o.spec(tinyBase(), "queue", config.SuperMem, 256, 1)},
+	}
+	for _, workers := range []int{1, 4} {
+		r := NewRunner(workers)
+		_, err := r.RunCells(cells)
+		if err == nil || !strings.Contains(err.Error(), "unknown") {
+			t.Fatalf("workers=%d: RunCells error = %v, want unknown-workload error", workers, err)
+		}
+		if !strings.Contains(err.Error(), "nope") {
+			t.Fatalf("workers=%d: error %v does not name the failing cell", workers, err)
+		}
+	}
+}
+
+// TestForEachIndexFirstError: with many failing indexes the lowest one
+// wins regardless of scheduling.
+func TestForEachIndexFirstError(t *testing.T) {
+	errAt := func(i int) error {
+		if i >= 3 {
+			return errIndex(i)
+		}
+		return nil
+	}
+	for _, workers := range []int{1, 2, 8} {
+		err := forEachIndex(workers, 16, errAt)
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if got := err.(errIndex); got != 3 {
+			t.Fatalf("workers=%d: first error at index %d, want 3", workers, got)
+		}
+	}
+}
+
+type errIndex int
+
+func (e errIndex) Error() string { return "fail" }
+
+// TestForEachIndexRunsEverything: without errors every index runs
+// exactly once.
+func TestForEachIndexRunsEverything(t *testing.T) {
+	var ran [37]atomic.Int32
+	if err := forEachIndex(5, len(ran), func(i int) error {
+		ran[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if n := ran[i].Load(); n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}
+
+// TestTable1ParallelMatchesSerial: the crash sweep classifies stages
+// identically at any worker count.
+func TestTable1ParallelMatchesSerial(t *testing.T) {
+	serial, err := Table1Parallel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Table1Parallel(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("Table1 serial vs parallel differ:\n%s\nvs\n%s", serial, parallel)
+	}
+}

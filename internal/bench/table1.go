@@ -3,6 +3,7 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 
 	"supermem/internal/machine"
 	"supermem/internal/pmem"
@@ -95,7 +96,13 @@ func classifyRecovery(m *machine.Machine, old, new []byte) bool {
 
 // Table1 sweeps every crash point of a durable transaction on each mode
 // and classifies recoverability per stage.
-func Table1() (*Table1Result, error) {
+func Table1() (*Table1Result, error) { return Table1Parallel(0) }
+
+// Table1Parallel is Table1 with an explicit worker count for the
+// crash-point sweep (<= 0 means GOMAXPROCS). Every crash point runs on
+// its own fresh machine, so the sweep parallelizes exactly like the
+// figure grids and the classification is order-independent.
+func Table1Parallel(parallel int) (*Table1Result, error) {
 	old := make([]byte, t1Payload)
 	new := make([]byte, t1Payload)
 	for i := range old {
@@ -119,12 +126,24 @@ func Table1() (*Table1Result, error) {
 		relTotal := probe.Persists() - setupPersists(mode, old)
 		res.CrashPoints[mode] = relTotal
 		stageOK := map[pmem.Stage]bool{pmem.StagePrepare: true, pmem.StageMutate: true, pmem.StageCommit: true}
-		for crashAt := 0; crashAt < relTotal; crashAt++ {
+		recovered := make([]bool, relTotal)
+		workers := parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		err = forEachIndex(workers, relTotal, func(crashAt int) error {
 			m, _, err := table1Run(mode, crashAt, old, new)
 			if err != nil {
-				return nil, fmt.Errorf("table1 %v crash@%d: %w", mode, crashAt, err)
+				return fmt.Errorf("table1 %v crash@%d: %w", mode, crashAt, err)
 			}
-			if !classifyRecovery(m, old, new) {
+			recovered[crashAt] = classifyRecovery(m, old, new)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for crashAt, ok := range recovered {
+			if !ok {
 				stageOK[stageOf(crashAt, boundaries)] = false
 			}
 		}

@@ -5,10 +5,7 @@
 // reproducible.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a callback scheduled to fire at a simulated time.
 type Event func(now uint64)
@@ -19,23 +16,58 @@ type item struct {
 	fn  Event
 }
 
+func (a item) less(b item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a typed binary min-heap ordered by (at, seq). Scheduling
+// an event is the simulator's hottest path, so the heap works on items
+// directly rather than through heap.Interface, which would box every
+// pushed item into an interface{} (one allocation per scheduled event).
 type eventHeap []item
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(it item) {
+	*h = append(*h, it)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].less(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *eventHeap) pop() item {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = item{} // release the callback for GC
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && s[right].less(s[left]) {
+			least = right
+		}
+		if !s[least].less(s[i]) {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
 }
 
 // Engine is a discrete-event simulator.
@@ -57,7 +89,7 @@ func (e *Engine) At(at uint64, fn Event) {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.heap, item{at: at, seq: e.seq, fn: fn})
+	e.heap.push(item{at: at, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run delay cycles from now.
@@ -72,7 +104,7 @@ func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false
 	}
-	it := heap.Pop(&e.heap).(item)
+	it := e.heap.pop()
 	e.now = it.at
 	it.fn(e.now)
 	return true

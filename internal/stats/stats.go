@@ -3,6 +3,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -247,6 +248,45 @@ func (t *Table) GeoMeanRow(label string) []float64 {
 // SortRows orders rows by label (stable presentation for maps).
 func (t *Table) SortRows() {
 	sort.SliceStable(t.rows, func(i, j int) bool { return t.rows[i].label < t.rows[j].label })
+}
+
+// tableJSON is the wire form of Table (rows are unexported).
+type tableJSON struct {
+	Title   string    `json:"title"`
+	Columns []string  `json:"columns"`
+	Rows    []rowJSON `json:"rows"`
+}
+
+type rowJSON struct {
+	Label string    `json:"label"`
+	Cells []float64 `json:"cells"`
+}
+
+// MarshalJSON encodes the table as {title, columns, rows:[{label,
+// cells}]}, the machine-readable artifact format of supermem-bench
+// -json.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{Title: t.Title, Columns: t.Columns, Rows: make([]rowJSON, len(t.rows))}
+	for i, r := range t.rows {
+		out.Rows[i] = rowJSON{Label: r.label, Cells: r.cells}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*t = Table{Title: in.Title, Columns: in.Columns}
+	for _, r := range in.Rows {
+		if len(r.Cells) != len(in.Columns) {
+			return fmt.Errorf("stats: row %q has %d cells, table has %d columns", r.Label, len(r.Cells), len(in.Columns))
+		}
+		t.AddRow(r.Label, r.Cells...)
+	}
+	return nil
 }
 
 // CSV renders the table as comma-separated values with a header row,

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -143,5 +144,30 @@ func TestCSV(t *testing.T) {
 	want := "label,A,B\nr1,1.5,2\nr2,0.25,42000\n"
 	if got != want {
 		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tb := NewTable("json", "A", "B")
+	tb.AddRow("r1", 1.5, 2)
+	tb.AddRow("r2", 0.25, 42000)
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != tb.String() {
+		t.Fatalf("round trip changed table:\n%s\nvs\n%s", got.String(), tb.String())
+	}
+}
+
+func TestUnmarshalRejectsRaggedRows(t *testing.T) {
+	var got Table
+	err := json.Unmarshal([]byte(`{"title":"t","columns":["A","B"],"rows":[{"label":"r","cells":[1]}]}`), &got)
+	if err == nil {
+		t.Fatal("accepted row with wrong cell count")
 	}
 }

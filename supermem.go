@@ -191,6 +191,10 @@ type ExperimentOpts struct {
 	Warmup         int
 	FootprintBytes uint64
 	Seed           int64
+	// Parallel is the number of simulation cells run concurrently
+	// (<= 0 means GOMAXPROCS). Every cell is an isolated deterministic
+	// simulation, so results are byte-identical at any setting.
+	Parallel int
 }
 
 // DefaultExperimentOpts returns the sizing the CLI uses.
@@ -213,6 +217,7 @@ func (o ExperimentOpts) internal() bench.Opts {
 	if o.Seed != 0 {
 		d.Seed = o.Seed
 	}
+	d.Parallel = o.Parallel
 	return d
 }
 
@@ -252,6 +257,17 @@ func Figure17(cfg Config, o ExperimentOpts) (hitRate, execTime *Table, err error
 // transaction when a crash strikes each commit stage, across machine
 // designs, by sweeping every crash point on the byte-accurate machine.
 func Table1() (*bench.Table1Result, error) { return bench.Table1() }
+
+// Table1Parallel is Table1 with an explicit worker count for the
+// crash-point sweep (<= 0 means GOMAXPROCS).
+func Table1Parallel(parallel int) (*bench.Table1Result, error) {
+	return bench.Table1Parallel(parallel)
+}
+
+// TraceCacheStats reports the cumulative experiment trace-cache hits
+// and misses in this process: each miss generated a workload's op
+// streams, each hit replayed a recording instead of regenerating it.
+func TraceCacheStats() (hits, misses int64) { return bench.CacheStats() }
 
 // AblationPlacement runs the counter-placement ablation (SingleBank /
 // SameBank / XBank, with and without CWC) on the write-through design.
