@@ -1,20 +1,35 @@
-// Command supermem-crash is the crash-consistency fuzzer: it runs a
-// workload on the byte-accurate encrypted machine, injects power
-// failures at every persistence step (or a sampled subset), recovers,
-// and verifies the structure's invariants against a deterministic
-// replay.
+// Command supermem-crash is the crash-consistency fuzzer. By default it
+// runs the *differential* fuzzer: every sampled crash point of a
+// workload is executed across all machine designs (SuperMem,
+// write-through without the register, write-back with and without
+// battery, Osiris, unencrypted), recovered, verified against a
+// deterministic replay, and the per-mode verdicts are checked against
+// Table 1's expected recoverability. Failing points are shrunk to the
+// earliest failing persist index and reported with divergent byte
+// ranges and counter lines.
 //
 // Usage:
 //
-//	supermem-crash                           # sweep every mode x workload
-//	supermem-crash -mode WB-NoBattery -workload btree -steps 10
-//	supermem-crash -stride 5                 # sample every 5th point
+//	supermem-crash                            # differential fuzz, all workloads
+//	supermem-crash -workload btree -steps 10  # one workload, longer run
+//	supermem-crash -nested                    # also crash inside recovery
+//	supermem-crash -maxpoints 64 -seed 7      # sampled (stage-weighted) points
+//	supermem-crash -parallel 4                # worker count (output identical)
+//	supermem-crash -json                      # also write BENCH_crash.json
+//	supermem-crash -mode WB-NoBattery -stride 5   # legacy single-mode sweep
+//
+// Determinism contract: for a fixed -seed the tested point set — and
+// therefore the entire report — is byte-identical at any -parallel
+// value.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"supermem"
 )
@@ -28,34 +43,102 @@ var modes = map[string]supermem.CrashMode{
 	"Unencrypted":   supermem.CrashUnencrypted,
 }
 
+// artifact is the machine-readable record -json emits, mirroring
+// supermem-bench's BENCH_<name>.json shape.
+type artifact struct {
+	Experiment string                      `json:"experiment"`
+	WallMillis int64                       `json:"wall_ms"`
+	Parallel   int                         `json:"parallel"`
+	Seed       int64                       `json:"seed"`
+	Nested     bool                        `json:"nested"`
+	Matrix     []*supermem.CrashFuzzResult `json:"matrix"`
+	Text       string                      `json:"text,omitempty"`
+}
+
 func main() {
 	var (
-		modeName = flag.String("mode", "", "machine design (default: all): SuperMem, WT-NoRegister, WB+Battery, WB-NoBattery, Osiris, Unencrypted")
-		wl       = flag.String("workload", "", "workload (default: all): array, queue, btree, hashtable, rbtree")
-		steps    = flag.Int("steps", 8, "transactions per run")
-		stride   = flag.Int("stride", 1, "test every stride-th persistence step")
+		modeName  = flag.String("mode", "", "legacy single-mode sweep: SuperMem, WT-NoRegister, WB+Battery, WB-NoBattery, Osiris, Unencrypted")
+		wl        = flag.String("workload", "", "workload (default: all): array, queue, btree, hashtable, rbtree")
+		steps     = flag.Int("steps", 8, "transactions per run")
+		stride    = flag.Int("stride", 0, "legacy sweep: test every stride-th persistence step")
+		seed      = flag.Int64("seed", 1, "workload and sampling seed (results are deterministic per seed)")
+		maxPoints = flag.Int("maxpoints", 0, "cap on crash points per mode (0 = exhaustive; sampling is stage-weighted)")
+		nested    = flag.Bool("nested", false, "also inject crashes at every persistence step of the recovery path")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker count (output is identical at any value)")
+		jsonOut   = flag.Bool("json", false, "write a BENCH_crash.json artifact with the full differential matrix")
 	)
 	flag.Parse()
 
-	var runModes []string
-	if *modeName != "" {
-		if _, ok := modes[*modeName]; !ok {
-			fmt.Fprintf(os.Stderr, "supermem-crash: unknown mode %q\n", *modeName)
-			os.Exit(2)
-		}
-		runModes = []string{*modeName}
-	} else {
-		runModes = []string{"SuperMem", "WT-NoRegister", "WB+Battery", "WB-NoBattery", "Osiris", "Unencrypted"}
-	}
 	workloads := supermem.Workloads()
 	if *wl != "" {
 		workloads = []string{*wl}
 	}
 
-	anyInconsistent := false
+	// Legacy path: a single-mode stride sweep, kept for scripts that
+	// predate the differential fuzzer.
+	if *modeName != "" || *stride > 0 {
+		runLegacySweep(*modeName, workloads, *steps, *stride)
+		return
+	}
+
+	start := time.Now()
+	var results []*supermem.CrashFuzzResult
+	text := ""
+	exitCode := 0
+	for _, w := range workloads {
+		res, err := supermem.CrashFuzz(supermem.CrashFuzzParams{
+			Workload:  w,
+			Steps:     *steps,
+			Seed:      *seed,
+			MaxPoints: *maxPoints,
+			Nested:    *nested,
+			Parallel:  *parallel,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-crash: %s: %v\n", w, err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+		text += res.String()
+		fmt.Print(res)
+		if err := res.CheckTable1(); err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-crash: %v\n", err)
+			exitCode = 1
+		}
+	}
+	fmt.Printf("[differential fuzz done in %s]\n", time.Since(start).Round(time.Millisecond))
+
+	if *jsonOut {
+		writeArtifact(artifact{
+			Experiment: "crash",
+			WallMillis: time.Since(start).Milliseconds(),
+			Parallel:   *parallel,
+			Seed:       *seed,
+			Nested:     *nested,
+			Matrix:     results,
+			Text:       text,
+		})
+	}
+	os.Exit(exitCode)
+}
+
+func runLegacySweep(modeName string, workloads []string, steps, stride int) {
+	var runModes []string
+	if modeName != "" {
+		if _, ok := modes[modeName]; !ok {
+			fmt.Fprintf(os.Stderr, "supermem-crash: unknown mode %q\n", modeName)
+			os.Exit(2)
+		}
+		runModes = []string{modeName}
+	} else {
+		runModes = []string{"SuperMem", "WT-NoRegister", "WB+Battery", "WB-NoBattery", "Osiris", "Unencrypted"}
+	}
+	if stride < 1 {
+		stride = 1
+	}
 	for _, mn := range runModes {
 		for _, w := range workloads {
-			res, err := supermem.CrashSweep(modes[mn], w, *steps, *stride)
+			res, err := supermem.CrashSweep(modes[mn], w, steps, stride)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "supermem-crash: %s/%s: %v\n", mn, w, err)
 				os.Exit(1)
@@ -63,7 +146,6 @@ func main() {
 			verdict := "CONSISTENT"
 			if !res.Consistent() {
 				verdict = "INCONSISTENT"
-				anyInconsistent = true
 			}
 			fmt.Printf("%-14s %-10s %4d points %4d crashed  %s\n", mn, w, res.TotalPoints, res.Crashed, verdict)
 			for i, r := range res.Inconsistent {
@@ -77,5 +159,20 @@ func main() {
 	}
 	// Corruption on designs without counter atomicity is the expected
 	// demonstration, not a failure of the tool.
-	_ = anyInconsistent
+}
+
+func writeArtifact(a artifact) {
+	f, err := os.Create("BENCH_crash.json")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-crash: %v\n", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-crash: %v\n", err)
+		return
+	}
+	fmt.Println("[wrote BENCH_crash.json]")
 }

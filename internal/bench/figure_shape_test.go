@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"testing"
+)
+
+// Figure-shape regression tests: the quantitative claims EXPERIMENTS.md
+// documents for the paper's headline figures, pinned on a small
+// deterministic configuration so a refactor that silently bends a curve
+// fails CI rather than only the (slow) full reproduction. Bands are
+// calibrated on the sizing below with margin for intentional model
+// tweaks; a violation means the *shape* moved, not just a constant.
+
+// shapeOpts is the sizing every shape test shares (seconds, not
+// minutes, and fully deterministic).
+var shapeOpts = Opts{Transactions: 15, Warmup: 15, FootprintBytes: 128 << 10, Seed: 1}
+
+// Figure 15's claim: an encrypted write-through NVM writes ~2x the
+// baseline (every data line drags a counter line), and SuperMem's
+// CWC+XBank removes most of that surplus. The reduction bands follow
+// EXPERIMENTS.md's Figure 15 table and grow with transaction size
+// (bigger transactions coalesce more counter writes per log line).
+func TestFig15WTWritesTwiceUnsec(t *testing.T) {
+	for _, size := range []int{256, 1024, 4096} {
+		tbl, err := Fig15(tinyBase(), size, shapeOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wl := range tbl.RowLabels() {
+			wt := tbl.Cell(wl, "WT")
+			if wt < 1.6 || wt > 2.3 {
+				t.Errorf("%s/%dB: WT writes %.2fx Unsec, want ~2x (band [1.6, 2.3])", wl, size, wt)
+			}
+		}
+	}
+}
+
+// reductionBands are EXPERIMENTS.md's documented SuperMem-vs-WT total
+// NVM write reductions per transaction size, widened slightly.
+var reductionBands = map[int][2]float64{
+	256:  {0.35, 0.50},
+	1024: {0.40, 0.50},
+	4096: {0.45, 0.50},
+}
+
+func TestFig15SuperMemReductionBands(t *testing.T) {
+	for size, band := range reductionBands {
+		tbl, err := Fig15(tinyBase(), size, shapeOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, wl := range tbl.RowLabels() {
+			wt := tbl.Cell(wl, "WT")
+			sm := tbl.Cell(wl, "SuperMem")
+			red := (wt - sm) / wt
+			if red < band[0] || red > band[1] {
+				t.Errorf("%s/%dB: SuperMem write reduction %.1f%% outside documented band [%.0f%%, %.0f%%]",
+					wl, size, 100*red, 100*band[0], 100*band[1])
+			}
+		}
+	}
+}
+
+// Figure 13's claim: write-through counter persistence costs ~2x in
+// transaction latency at small transactions (the paper's 1.7-2.1x).
+// The tiny shapeOpts run underestimates the gap (too few transactions
+// for the write queue to back up), so this one uses a slightly larger
+// deterministic sizing where every workload sits in the band.
+func TestFig13WTLatencyBand(t *testing.T) {
+	o := Opts{Transactions: 50, Warmup: 50, FootprintBytes: 1 << 20, Seed: 1}
+	tbl, err := Fig13(tinyBase(), 256, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := tbl.Normalize("Unsec")
+	for _, wl := range n.RowLabels() {
+		wt := n.Cell(wl, "WT")
+		if wt < 1.7 || wt > 2.4 {
+			t.Errorf("%s: WT latency %.2fx Unsec, outside the paper's band [1.7, 2.4]", wl, wt)
+		}
+		// SuperMem must recover the bulk of WT's overhead (the paper's
+		// headline: within a few percent of the battery-backed ideal).
+		sm := n.Cell(wl, "SuperMem")
+		if sm >= wt {
+			t.Errorf("%s: SuperMem latency %.2fx not below WT %.2fx", wl, sm, wt)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package bench
 
 import (
 	"strings"
-	"sync/atomic"
 	"testing"
 
 	"supermem/internal/config"
@@ -125,47 +124,6 @@ func TestRunCellsErrorPropagation(t *testing.T) {
 		}
 		if !strings.Contains(err.Error(), "nope") {
 			t.Fatalf("workers=%d: error %v does not name the failing cell", workers, err)
-		}
-	}
-}
-
-// TestForEachIndexFirstError: with many failing indexes the lowest one
-// wins regardless of scheduling.
-func TestForEachIndexFirstError(t *testing.T) {
-	errAt := func(i int) error {
-		if i >= 3 {
-			return errIndex(i)
-		}
-		return nil
-	}
-	for _, workers := range []int{1, 2, 8} {
-		err := forEachIndex(workers, 16, errAt)
-		if err == nil {
-			t.Fatalf("workers=%d: no error", workers)
-		}
-		if got := err.(errIndex); got != 3 {
-			t.Fatalf("workers=%d: first error at index %d, want 3", workers, got)
-		}
-	}
-}
-
-type errIndex int
-
-func (e errIndex) Error() string { return "fail" }
-
-// TestForEachIndexRunsEverything: without errors every index runs
-// exactly once.
-func TestForEachIndexRunsEverything(t *testing.T) {
-	var ran [37]atomic.Int32
-	if err := forEachIndex(5, len(ran), func(i int) error {
-		ran[i].Add(1)
-		return nil
-	}); err != nil {
-		t.Fatal(err)
-	}
-	for i := range ran {
-		if n := ran[i].Load(); n != 1 {
-			t.Fatalf("index %d ran %d times", i, n)
 		}
 	}
 }

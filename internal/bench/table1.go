@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"supermem/internal/machine"
+	"supermem/internal/par"
 	"supermem/internal/pmem"
 )
 
@@ -131,7 +132,7 @@ func Table1Parallel(parallel int) (*Table1Result, error) {
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		err = forEachIndex(workers, relTotal, func(crashAt int) error {
+		err = par.ForEachIndex(workers, relTotal, func(crashAt int) error {
 			m, _, err := table1Run(mode, crashAt, old, new)
 			if err != nil {
 				return fmt.Errorf("table1 %v crash@%d: %w", mode, crashAt, err)

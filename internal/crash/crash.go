@@ -88,6 +88,14 @@ func build(p Params, b pmem.Backend) (workload.Workload, *pmem.TxManager, error)
 	if err := w.Setup(tm); err != nil {
 		return nil, nil, err
 	}
+	// Table 1's premise is that the counters protecting *old* data are
+	// correct — an idle write-back cache would have evicted them long
+	// before the transaction under test. Flush them so a write-back
+	// design's corruption is pinned on the measured transactions, not
+	// on setup state no real machine would keep dirty.
+	if m, ok := b.(*machine.Machine); ok {
+		m.FlushCounters()
+	}
 	return w, tm, nil
 }
 
@@ -96,11 +104,18 @@ type Result struct {
 	// CrashStep is the persistence step at which power failed (-1 when
 	// the run completed without reaching it).
 	CrashStep int
+	// RecoveryCrashStep is the persistence step of the *recovery* path
+	// at which a nested power failure struck, or -1 when none was armed
+	// or the recovery finished before reaching it.
+	RecoveryCrashStep int
 	// CompletedSteps is the number of transactions that finished before
 	// the crash.
 	CompletedSteps int
 	// Crashed reports whether the injection point was reached.
 	Crashed bool
+	// RecoveryCrashed reports whether the nested injection point was
+	// reached during recovery.
+	RecoveryCrashed bool
 	// Consistent reports whether the recovered structure matched the
 	// state after CompletedSteps or CompletedSteps+1 transactions.
 	Consistent bool
@@ -108,18 +123,17 @@ type Result struct {
 	Detail string
 }
 
-// Run executes the workload with a crash armed at the given persistence
-// step (counted from the end of setup), recovers, and classifies the
-// outcome.
-func Run(p Params, crashAt int) (Result, error) {
-	p = p.withDefaults()
+// runToCrash executes the workload with a crash armed at the given
+// persistence step (counted from the end of setup) and returns the
+// machine, the workload, and how many transactions completed.
+func runToCrash(p Params, crashAt int) (*machine.Machine, workload.Workload, int, error) {
 	m, err := machine.New(p.Mode, p.Key)
 	if err != nil {
-		return Result{}, err
+		return nil, nil, 0, err
 	}
 	w, tm, err := build(p, m)
 	if err != nil {
-		return Result{}, err
+		return nil, nil, 0, err
 	}
 	m.ArmCrashAtPersist(crashAt)
 	completed := 0
@@ -131,13 +145,44 @@ func Run(p Params, crashAt int) (Result, error) {
 			if m.Crashed() {
 				break
 			}
-			return Result{}, fmt.Errorf("crash: step %d: %w", i, err)
+			return nil, nil, 0, fmt.Errorf("crash: step %d: %w", i, err)
 		}
 		if !m.Crashed() {
 			completed++
 		}
 	}
-	res := Result{CrashStep: crashAt, CompletedSteps: completed, Crashed: m.Crashed()}
+	return m, w, completed, nil
+}
+
+// Run executes the workload with a crash armed at the given persistence
+// step (counted from the end of setup), recovers, and classifies the
+// outcome.
+func Run(p Params, crashAt int) (Result, error) {
+	res, _, err := runAndRecover(p, crashAt, -1)
+	return res, err
+}
+
+// RunNested is Run with a second power failure armed at the given
+// persistence micro-step of the recovery path itself: finishing the
+// RSR re-encryption state machine and reapplying the redo log both
+// consume persistence steps on the recovered machine, and crashing
+// there exercises the windows Triad-NVM and Phoenix show persistence
+// bugs hide in. After the nested crash a second (uninterrupted)
+// recovery runs, and *that* state must match a replay.
+func RunNested(p Params, crashAt, recoveryCrashAt int) (Result, error) {
+	res, _, err := runAndRecover(p, crashAt, recoveryCrashAt)
+	return res, err
+}
+
+// runAndRecover is the shared engine of Run/RunNested: it also returns
+// the final recovered machine so the fuzzer can diff divergent bytes.
+func runAndRecover(p Params, crashAt, recoveryCrashAt int) (Result, *machine.Machine, error) {
+	p = p.withDefaults()
+	m, w, completed, err := runToCrash(p, crashAt)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res := Result{CrashStep: crashAt, RecoveryCrashStep: -1, CompletedSteps: completed, Crashed: m.Crashed()}
 	if !m.Crashed() {
 		// The run finished before the injection point; verify in place.
 		res.CompletedSteps = p.Steps
@@ -146,54 +191,70 @@ func Run(p Params, crashAt int) (Result, error) {
 			res.Consistent = false
 			res.Detail = err.Error()
 		}
-		return res, nil
+		return res, m, nil
 	}
 
-	r := m.Recover()
+	var r *machine.Machine
+	if recoveryCrashAt >= 0 {
+		r = m.Recover(machine.WithCrashAtPersist(recoveryCrashAt))
+	} else {
+		r = m.Recover()
+	}
 	pmem.Recover(r, logBase, logSize)
+	if r.Crashed() {
+		// The nested failure hit mid-recovery; power-cycle again. The
+		// second recovery runs to completion, and consistency is judged
+		// on its result.
+		res.RecoveryCrashed = true
+		res.RecoveryCrashStep = recoveryCrashAt
+		r = r.Recover()
+		pmem.Recover(r, logBase, logSize)
+	}
 
 	// The recovered structure must equal the replayed state after
 	// either `completed` or `completed+1` transactions.
 	for _, n := range []int{completed, completed + 1} {
 		ok, err := matchesReplay(p, r, n)
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		if ok {
 			res.Consistent = true
-			return res, nil
+			return res, r, nil
 		}
 	}
 	// Capture a diagnostic from the nearer replay.
-	replayW, err := replay(p, res.CompletedSteps)
+	replayW, _, err := replay(p, res.CompletedSteps)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	if verr := replayW.Verify(r); verr != nil {
 		res.Detail = verr.Error()
 	}
-	return res, nil
+	return res, r, nil
 }
 
 // replay rebuilds the workload's Go-side bookkeeping after n steps on a
-// scratch backend (deterministic: same seed, same heap layout).
-func replay(p Params, n int) (workload.Workload, error) {
+// scratch backend (deterministic: same seed, same heap layout). The
+// backend is returned too, so callers can diff its bytes against a
+// recovered machine.
+func replay(p Params, n int) (workload.Workload, *pmem.TracingBackend, error) {
 	b := pmem.NewTracingBackend()
 	w, tm, err := build(p, b)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i := 0; i < n; i++ {
 		if err := w.Step(tm); err != nil {
-			return nil, fmt.Errorf("crash: replay step %d: %w", i, err)
+			return nil, nil, fmt.Errorf("crash: replay step %d: %w", i, err)
 		}
 	}
-	return w, nil
+	return w, b, nil
 }
 
 // matchesReplay checks the recovered machine against the n-step replay.
 func matchesReplay(p Params, r *machine.Machine, n int) (bool, error) {
-	w, err := replay(p, n)
+	w, _, err := replay(p, n)
 	if err != nil {
 		return false, err
 	}
@@ -218,7 +279,10 @@ func (s SweepResult) String() string {
 }
 
 // Sweep measures the run's total persistence steps, then crash-tests
-// every stride-th step. Stride 1 sweeps every persistence step.
+// every stride-th step, always including the final persist index even
+// when the stride does not divide the persist count (so last-window
+// crash points are never skipped). Stride 1 sweeps every persistence
+// step.
 func Sweep(p Params, stride int) (SweepResult, error) {
 	p = p.withDefaults()
 	if stride < 1 {
@@ -229,10 +293,10 @@ func Sweep(p Params, stride int) (SweepResult, error) {
 		return SweepResult{}, err
 	}
 	out := SweepResult{Params: p, TotalPoints: 0}
-	for crashAt := 0; crashAt < total; crashAt += stride {
+	test := func(crashAt int) error {
 		res, err := Run(p, crashAt)
 		if err != nil {
-			return SweepResult{}, err
+			return err
 		}
 		out.TotalPoints++
 		if res.Crashed {
@@ -241,6 +305,17 @@ func Sweep(p Params, stride int) (SweepResult, error) {
 		if !res.Consistent {
 			out.Inconsistent = append(out.Inconsistent, res)
 		}
+		return nil
+	}
+	for crashAt := 0; crashAt < total; crashAt += stride {
+		if err := test(crashAt); err != nil {
+			return SweepResult{}, err
+		}
+	}
+	if total > 0 && (total-1)%stride != 0 {
+		if err := test(total - 1); err != nil {
+			return SweepResult{}, err
+		}
 	}
 	return out, nil
 }
@@ -248,19 +323,47 @@ func Sweep(p Params, stride int) (SweepResult, error) {
 // countPersists runs the workload crash-free and returns the persist
 // steps consumed by its transactions (after setup).
 func countPersists(p Params) (int, error) {
+	total, _, err := persistProfile(p)
+	return total, err
+}
+
+// persistProfile runs the workload crash-free and returns the persist
+// steps consumed by its transactions (after setup) plus the persist
+// index at the start of every commit stage — the prepare/mutate/commit
+// windows of Table 1, which the fuzzer's sampler weights toward.
+func persistProfile(p Params) (total int, stageStarts []int, err error) {
 	m, err := machine.New(p.Mode, p.Key)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	w, tm, err := build(p, m)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	base := m.Persists()
+	tm.StageHook = func(pmem.Stage) { stageStarts = append(stageStarts, m.Persists()-base) }
 	for i := 0; i < p.Steps; i++ {
 		if err := w.Step(tm); err != nil {
-			return 0, fmt.Errorf("crash: counting step %d: %w", i, err)
+			return 0, nil, fmt.Errorf("crash: counting step %d: %w", i, err)
 		}
 	}
-	return m.Persists() - base, nil
+	return m.Persists() - base, stageStarts, nil
+}
+
+// recoveryPersists measures the persistence micro-steps the recovery
+// path consumes after a crash at crashAt: finishing an in-flight RSR
+// re-encryption plus reapplying the redo log. Zero means the recovery
+// wrote nothing (nothing to finish, no sealed log).
+func recoveryPersists(p Params, crashAt int) (int, error) {
+	p = p.withDefaults()
+	m, _, _, err := runToCrash(p, crashAt)
+	if err != nil {
+		return 0, err
+	}
+	if !m.Crashed() {
+		return 0, nil
+	}
+	r := m.Recover()
+	pmem.Recover(r, logBase, logSize)
+	return r.Persists(), nil
 }

@@ -75,11 +75,11 @@ func TestBatteryRestoresConsistency(t *testing.T) {
 
 func TestReplayDeterminism(t *testing.T) {
 	p := Params{Mode: machine.WTRegister, Workload: "rbtree", Steps: 8}.withDefaults()
-	w1, err := replay(p, 8)
+	w1, _, err := replay(p, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w2, err := replay(p, 8)
+	w2, _, err := replay(p, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,6 +108,45 @@ func TestCountPersistsPositive(t *testing.T) {
 	}
 	if n <= 0 {
 		t.Fatalf("countPersists = %d", n)
+	}
+}
+
+// Regression: Sweep used to skip the last-window crash points whenever
+// the stride did not divide the persist count, so the final persist —
+// the commit-record flush, the most interesting point of all — was
+// never exercised. Any stride must now test both endpoints.
+func TestSweepAlwaysTestsFinalPersist(t *testing.T) {
+	p := Params{Mode: machine.WTRegister, Workload: "queue", Steps: 3}
+	total, err := countPersists(p.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 3 {
+		t.Fatalf("countPersists = %d, too few to make the stride interesting", total)
+	}
+	// A stride larger than the whole run: only the endpoints remain.
+	res, err := Sweep(p, total*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPoints != 2 {
+		t.Fatalf("stride > total tested %d points, want both endpoints {0, %d}", res.TotalPoints, total-1)
+	}
+	if res.Crashed != 2 {
+		t.Fatalf("endpoints tested but only %d crashed — final persist index %d out of range?", res.Crashed, total-1)
+	}
+	// A non-dividing stride: the regular cadence plus the final index.
+	stride := total - 1
+	res, err = Sweep(p, stride)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (total-1)/stride + 1 // points 0, stride, ...
+	if (total-1)%stride != 0 {
+		want++
+	}
+	if res.TotalPoints != want {
+		t.Fatalf("stride %d over %d persists tested %d points, want %d", stride, total, res.TotalPoints, want)
 	}
 }
 

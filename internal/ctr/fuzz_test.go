@@ -1,0 +1,103 @@
+package ctr
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"supermem/internal/config"
+)
+
+// FuzzPackUnpack checks that the packed counter-line layout is a
+// bijection on its 64 bytes: every byte pattern decodes to in-range
+// minors and re-packs to the identical bytes (8 B major + 64 minors at
+// 7 bits each fill the line exactly, so no bit is slack).
+func FuzzPackUnpack(f *testing.F) {
+	zero := make([]byte, LineBytes)
+	f.Add(zero)
+	ramp := make([]byte, LineBytes)
+	for i := range ramp {
+		ramp[i] = byte(i * 7)
+	}
+	f.Add(ramp)
+	ones := make([]byte, LineBytes)
+	for i := range ones {
+		ones[i] = 0xFF
+	}
+	f.Add(ones)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < LineBytes {
+			t.Skip("need a full counter line")
+		}
+		var b [LineBytes]byte
+		copy(b[:], data)
+		l := Unpack(b)
+		for i, m := range l.Minors {
+			if m > MinorMax {
+				t.Fatalf("minor %d unpacked out of range: %d", i, m)
+			}
+		}
+		if got := l.Pack(); got != b {
+			t.Fatalf("Unpack/Pack is not the identity:\n%x\n%x", b, got)
+		}
+	})
+}
+
+// FuzzLineRoundTrip goes the other way (Line -> Pack -> Unpack) and
+// piles on the Bump invariants: minors stay in range, and an overflow
+// rolls the major exactly once with the bumped line's minor at 1.
+func FuzzLineRoundTrip(f *testing.F) {
+	f.Add(uint64(0), []byte{}, uint8(0))
+	f.Add(uint64(1)<<63, []byte{127, 0, 127}, uint8(3))
+	f.Add(uint64(42), []byte{1, 2, 3, 4, 5, 6, 7}, uint8(200))
+	f.Fuzz(func(t *testing.T, major uint64, minors []byte, bumpLine uint8) {
+		var l Line
+		l.Major = major
+		for i := range l.Minors {
+			if i < len(minors) {
+				l.Minors[i] = minors[i] & MinorMax
+			}
+		}
+		before := l
+
+		got := Unpack(l.Pack())
+		if got != l {
+			t.Fatalf("Pack/Unpack changed the line:\n%+v\n%+v", l, got)
+		}
+
+		li := int(bumpLine) % config.LinesPerPage
+		overflow := l.Bump(li)
+		if overflow != (before.Minors[li] == MinorMax) {
+			t.Fatalf("overflow = %v with prior minor %d", overflow, before.Minors[li])
+		}
+		if overflow {
+			if l.Major != before.Major+1 {
+				t.Fatalf("major %d after overflow of %d", l.Major, before.Major)
+			}
+			for i, m := range l.Minors {
+				want := uint8(0)
+				if i == li {
+					want = 1
+				}
+				if m != want {
+					t.Fatalf("minor %d = %d after overflow, want %d", i, m, want)
+				}
+			}
+		} else {
+			if l.Major != before.Major {
+				t.Fatalf("major moved without overflow: %d -> %d", before.Major, l.Major)
+			}
+			if l.Minors[li] != before.Minors[li]+1 {
+				t.Fatalf("minor %d = %d after bump from %d", li, l.Minors[li], before.Minors[li])
+			}
+		}
+		// The bumped line still packs into one memory line, with the
+		// major landing in the first 8 bytes.
+		packed := l.Pack()
+		if binary.LittleEndian.Uint64(packed[:8]) != l.Major {
+			t.Fatalf("packed major %x != %x", packed[:8], l.Major)
+		}
+		if got := Unpack(packed); got != l {
+			t.Fatalf("post-bump Pack/Unpack changed the line:\n%+v\n%+v", l, got)
+		}
+	})
+}

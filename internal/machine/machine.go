@@ -11,6 +11,7 @@ package machine
 
 import (
 	"fmt"
+	"sort"
 
 	"supermem/internal/aes"
 	"supermem/internal/config"
@@ -295,10 +296,14 @@ func (m *Machine) CLWB(addr uint64) {
 		cl = m.currentCounter(page)
 	}
 	cl.Bump(li)
-	m.ctrCache.Set(page, cl)
 	pad := ctr.OTP(m.cipher, base, cl.Major, cl.Minors[li])
 	cipherText := ctr.XorLine(plain, pad)
 
+	// The counter cache advances only when the corresponding append to
+	// the write queue actually happens: in hardware the bump and the
+	// enqueue are the same event at the encryption engine, so a crash
+	// that loses the data write must also lose the bump (otherwise a
+	// battery flush would persist a counter whose data never landed).
 	switch m.mode {
 	case WTRegister:
 		// The register appends data and counter atomically: one step.
@@ -307,6 +312,7 @@ func (m *Machine) CLWB(addr uint64) {
 		}
 		m.nvmData[base] = cipherText
 		m.nvmCtr[page] = cl
+		m.ctrCache.Set(page, cl)
 	case WTNoRegister:
 		// Figure 6: counter first, then data — two separate steps with
 		// a crash window between them.
@@ -314,6 +320,7 @@ func (m *Machine) CLWB(addr uint64) {
 			return
 		}
 		m.nvmCtr[page] = cl
+		m.ctrCache.Set(page, cl)
 		if !m.stepPersist() {
 			return
 		}
@@ -325,6 +332,7 @@ func (m *Machine) CLWB(addr uint64) {
 			return
 		}
 		m.nvmData[base] = cipherText
+		m.ctrCache.Set(page, cl)
 		m.ctrDirty[page] = true
 	default:
 		panic(fmt.Sprintf("machine: unhandled mode %v", m.mode))
@@ -396,7 +404,15 @@ func (m *Machine) Crash() { m.crashed = true }
 // caches and (without battery) dirty counters are gone. The RSR, being
 // ADR-protected, survives and finishes any in-flight page
 // re-encryption (Section 3.4.4).
-func (m *Machine) Recover() *Machine {
+//
+// The recovery work itself runs through the successor's persistence
+// accounting, so passing WithCrashAtPersist arms a *nested* crash: the
+// successor can power off partway through finishing the RSR state
+// machine (or, at the harness level, partway through redo-log
+// recovery), and a further Recover must pick up from there. The
+// battery flush of WBBattery is exempt — it happens on the dying
+// machine under guaranteed power.
+func (m *Machine) Recover(opts ...Option) *Machine {
 	n := &Machine{
 		mode:     m.mode,
 		cipher:   m.cipher,
@@ -407,6 +423,9 @@ func (m *Machine) Recover() *Machine {
 		ctrCache: ctr.NewStore(),
 		ctrDirty: make(map[uint64]bool),
 		crashAt:  -1,
+	}
+	for _, o := range opts {
+		o(n)
 	}
 	for a, l := range m.nvmData {
 		n.nvmData[a] = l
@@ -426,19 +445,26 @@ func (m *Machine) Recover() *Machine {
 		}
 	}
 	if m.rsr != nil {
-		n.finishReencryption(m.rsr)
+		cp := *m.rsr
+		n.rsr = &cp
+		n.finishReencryption()
 	}
-	if m.mode == Osiris {
+	if m.mode == Osiris && !n.crashed {
 		n.recoverOsirisCounters()
 	}
 	return n
 }
 
-// finishReencryption completes an interrupted page re-encryption from
-// the RSR contents: lines already re-encrypted hold (major+1, 0);
-// pending lines still hold their old counters, so they are decrypted
-// with the old counter line and re-encrypted under the new one.
-func (n *Machine) finishReencryption(r *rsrState) {
+// finishReencryption completes the interrupted page re-encryption
+// recorded in the machine's RSR: lines already re-encrypted hold
+// (major+1, 0); pending lines still hold their old counters, so they
+// are decrypted with the old counter line and re-encrypted under the
+// new one. Every pending line rewrite is one persistence micro-step
+// that marks the line's RSR done bit, and the final counter-line
+// persist is another — so a nested crash mid-recovery leaves an RSR
+// from which the next Recover continues.
+func (m *Machine) finishReencryption() {
+	r := m.rsr
 	newLine := ctr.Line{Major: r.oldMajor + 1}
 	base := r.page * config.PageSize
 	for i := 0; i < config.LinesPerPage; i++ {
@@ -446,12 +472,40 @@ func (n *Machine) finishReencryption(r *rsrState) {
 		if r.done[i] {
 			continue
 		}
-		oldPad := ctr.OTP(n.cipher, la, r.oldLine.Major, r.oldLine.Minors[i])
-		plain := ctr.XorLine(n.nvmData[la], oldPad)
-		newPad := ctr.OTP(n.cipher, la, newLine.Major, 0)
-		n.nvmData[la] = ctr.XorLine(plain, newPad)
+		oldPad := ctr.OTP(m.cipher, la, r.oldLine.Major, r.oldLine.Minors[i])
+		plain := ctr.XorLine(m.nvmData[la], oldPad)
+		newPad := ctr.OTP(m.cipher, la, newLine.Major, 0)
+		if !m.stepPersist() {
+			return
+		}
+		m.nvmData[la] = ctr.XorLine(plain, newPad)
+		r.done[i] = true
 	}
-	n.nvmCtr[r.page] = newLine
+	if !m.stepPersist() {
+		return
+	}
+	m.nvmCtr[r.page] = newLine
+	m.rsr = nil
+}
+
+// NVMLines returns the sorted line addresses that have ever been
+// persisted to NVM — the address space the crash fuzzer diffs when a
+// recovery diverges from its replay.
+func (m *Machine) NVMLines() []uint64 {
+	out := make([]uint64, 0, len(m.nvmData))
+	for a := range m.nvmData {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PersistedCounter returns the counter line persisted in NVM for a
+// page, and whether one exists (diagnostics: the in-flight cached
+// counter is deliberately not consulted).
+func (m *Machine) PersistedCounter(page uint64) (ctr.Line, bool) {
+	l, ok := m.nvmCtr[page]
+	return l, ok
 }
 
 // DirtyCacheLines returns the number of unflushed CPU cache lines

@@ -289,6 +289,75 @@ func TestReencryptionCrashRecoverableAtEveryStep(t *testing.T) {
 	}
 }
 
+// A crash inside a re-encryption, then a SECOND crash while the
+// recovery's RSR state machine is finishing the job: the RSR's done
+// bits are persisted per line, so the third boot picks up exactly
+// where the second died and the page is intact. This is the nested
+// window the crash fuzzer's -nested flag sweeps.
+func TestReencryptionSurvivesNestedRecoveryCrash(t *testing.T) {
+	prep := func() *Machine {
+		m := newM(t, WTRegister)
+		for i := 0; i < config.LinesPerPage; i++ {
+			m.Store(uint64(i*config.LineSize), []byte{byte(i), byte(i + 1)})
+			m.CLWB(uint64(i * config.LineSize))
+		}
+		for i := 1; i < ctr.MinorMax; i++ { // minor: 1 -> 127
+			m.Store(0, []byte{0xAA})
+			m.CLWB(0)
+		}
+		return m
+	}
+	// Crash a third of the way through the 64-line sweep, so the
+	// recovery path has plenty of pending lines left to crash inside.
+	outerCrash := config.LinesPerPage / 3
+	probe := prep()
+	probe.ArmCrashAtPersist(outerCrash)
+	probe.Store(0, []byte{0xBB})
+	probe.CLWB(0)
+	if !probe.Crashed() {
+		t.Fatal("outer crash never struck")
+	}
+	rec := probe.Recover()
+	recoverySteps := rec.Persists()
+	if recoverySteps == 0 {
+		t.Fatal("recovery finished the re-encryption without persisting — nothing to nest into")
+	}
+
+	for nested := 0; nested < recoverySteps; nested++ {
+		m := prep()
+		m.ArmCrashAtPersist(outerCrash)
+		m.Store(0, []byte{0xBB})
+		m.CLWB(0)
+		r := m.Recover(WithCrashAtPersist(nested))
+		if !r.Crashed() {
+			t.Fatalf("nested crash@%d never struck (recovery has %d steps)", nested, recoverySteps)
+		}
+		// Third boot: recovery must run to completion this time.
+		r2 := r.Recover()
+		if r2.Crashed() {
+			t.Fatalf("nested crash@%d: third boot crashed", nested)
+		}
+		for i := 1; i < config.LinesPerPage; i++ {
+			got := r2.Load(uint64(i*config.LineSize), 2)
+			if got[0] != byte(i) || got[1] != byte(i+1) {
+				t.Fatalf("nested crash@%d: line %d corrupted: %v", nested, i, got[:2])
+			}
+		}
+		got := r2.Load(0, 1)
+		if got[0] != 0xAA && got[0] != 0xBB {
+			t.Fatalf("nested crash@%d: line 0 is garbage: %#x", nested, got[0])
+		}
+		// The finished page must sit under the new major with no RSR
+		// left armed.
+		if cl := r2.nvmCtr[0]; cl.Major != 1 {
+			t.Fatalf("nested crash@%d: major = %d after finished re-encryption, want 1", nested, cl.Major)
+		}
+		if r2.rsr != nil {
+			t.Fatalf("nested crash@%d: RSR still armed after full recovery", nested)
+		}
+	}
+}
+
 func TestRecoverIsDeepCopy(t *testing.T) {
 	m := newM(t, WTRegister)
 	m.Store(0, []byte("v1"))

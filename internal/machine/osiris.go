@@ -42,13 +42,14 @@ func (m *Machine) osirisCLWB(base uint64, plain line) {
 		cl = m.currentCounter(page)
 	}
 	cl.Bump(li)
-	m.ctrCache.Set(page, cl)
 	pad := ctr.OTP(m.cipher, base, cl.Major, cl.Minors[li])
 	if !m.stepPersist() {
 		return
 	}
+	// As in CLWB, the counter cache advances with the enqueue itself.
 	m.nvmData[base] = ctr.XorLine(plain, pad)
 	m.nvmTag[base] = lineTag(plain)
+	m.ctrCache.Set(page, cl)
 	if uint32(cl.Minors[li])%osirisStopLoss == 0 {
 		if !m.stepPersist() {
 			return
@@ -68,9 +69,14 @@ func (m *Machine) osirisCLWB(base uint64, plain line) {
 func (m *Machine) OsirisProbes() int { return m.osirisProbes }
 
 // recoverOsirisCounters rebuilds the lost counter state of a recovered
-// machine by probing each written line against its integrity tag.
+// machine by probing each written line against its integrity tag. Lines
+// are visited in address order so the probe sequence (and any partial
+// progress observed by the crash fuzzer) is deterministic. The probing
+// reconstructs controller metadata rather than writing new NVM state,
+// so it consumes no persistence micro-steps.
 func (n *Machine) recoverOsirisCounters() {
-	for base, cipherText := range n.nvmData {
+	for _, base := range n.NVMLines() {
+		cipherText := n.nvmData[base]
 		page := base / config.PageSize
 		li := ctr.LineIndex(base)
 		cl, ok := n.nvmCtr[page]

@@ -11,6 +11,8 @@
 package pmem
 
 import (
+	"sort"
+
 	"supermem/internal/config"
 	"supermem/internal/trace"
 )
@@ -99,6 +101,18 @@ func (b *TracingBackend) Mark(op trace.Op) { b.ops = append(b.ops, op) }
 
 // Ops returns the recorded op stream.
 func (b *TracingBackend) Ops() []trace.Op { return b.ops }
+
+// Lines returns the sorted base addresses of every memory line the
+// backend has ever materialized — the address space the crash fuzzer
+// diffs a recovered machine against.
+func (b *TracingBackend) Lines() []uint64 {
+	out := make([]uint64, 0, len(b.mem))
+	for base := range b.mem {
+		out = append(out, base)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Source returns the recorded stream as a trace source.
 func (b *TracingBackend) Source() trace.Source { return trace.NewSliceSource(b.ops) }

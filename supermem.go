@@ -325,3 +325,39 @@ type CrashSweepResult = crash.SweepResult
 func CrashSweep(mode CrashMode, workloadName string, steps, stride int) (CrashSweepResult, error) {
 	return crash.Sweep(crash.Params{Mode: mode, Workload: workloadName, Steps: steps}, stride)
 }
+
+// CrashModes lists every machine design the differential crash fuzzer
+// sweeps, in Table 1 order plus the baselines.
+func CrashModes() []CrashMode { return append([]CrashMode(nil), crash.AllModes...) }
+
+// Differential crash-fuzzer types (see internal/crash for the full
+// field documentation).
+type (
+	// CrashFuzzParams configures a differential fuzzing run: workload,
+	// sizing, sampling budget and seed, nested-crash depth, and worker
+	// count. The zero value fuzzes the array workload exhaustively
+	// across all modes.
+	CrashFuzzParams = crash.FuzzParams
+	// CrashFuzzResult is the mode-by-mode differential matrix checked
+	// against Table 1's expected recoverability.
+	CrashFuzzResult = crash.FuzzResult
+	// CrashModeVerdict is one machine design's verdict within a
+	// differential fuzz: points tested, failures, and the minimized
+	// earliest failing crash point with its divergent lines.
+	CrashModeVerdict = crash.ModeVerdict
+)
+
+// CrashFuzz runs the differential crash-point fuzzer: every sampled
+// crash point (and, when requested, nested crashes inside the recovery
+// path itself) is executed across all machine modes and each mode's
+// verdict is compared against Table 1's expected recoverability.
+// Results are deterministic for a fixed seed at any parallelism.
+func CrashFuzz(p CrashFuzzParams) (*CrashFuzzResult, error) { return crash.Fuzz(p) }
+
+// CrashExpectedConsistent reports Table 1's recoverability expectation
+// for a mode running a workload (WBNoBattery always corrupts; the
+// register-less write-through strawman corrupts exactly when the
+// workload performs sub-line logged writes).
+func CrashExpectedConsistent(mode CrashMode, workloadName string) bool {
+	return crash.ExpectedConsistent(mode, workloadName)
+}

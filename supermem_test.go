@@ -101,6 +101,36 @@ func TestCrashSweepPublicAPI(t *testing.T) {
 	}
 }
 
+func TestCrashFuzzPublicAPI(t *testing.T) {
+	if n := len(supermem.CrashModes()); n != 6 {
+		t.Fatalf("CrashModes lists %d designs, want 6", n)
+	}
+	res, err := supermem.CrashFuzz(supermem.CrashFuzzParams{
+		Workload: "queue", Steps: 3, Nested: true, MaxNested: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckTable1(); err != nil {
+		t.Fatalf("differential matrix deviates from Table 1: %v\n%s", err, res)
+	}
+	var sawCorrupt bool
+	for _, v := range res.Verdicts {
+		if v.Mode == supermem.CrashWBNoBattery {
+			sawCorrupt = !v.Consistent()
+		}
+	}
+	if !sawCorrupt {
+		t.Fatal("WB-NoBattery never corrupted — the differential check is vacuous")
+	}
+	if supermem.CrashExpectedConsistent(supermem.CrashWBNoBattery, "array") {
+		t.Fatal("WB-NoBattery expected consistent")
+	}
+	if !supermem.CrashExpectedConsistent(supermem.CrashSuperMem, "hashtable") {
+		t.Fatal("SuperMem expected to corrupt")
+	}
+}
+
 func TestTable1PublicAPI(t *testing.T) {
 	res, err := supermem.Table1()
 	if err != nil {
