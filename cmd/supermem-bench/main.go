@@ -24,6 +24,19 @@
 // records each workload's op streams once and replays them per scheme.
 // -json additionally writes one BENCH_<exp>.json artifact per
 // experiment with the wall time, cache counters, and table data.
+//
+// Observability (see EXPERIMENTS.md):
+//
+//	supermem-bench -exp fig13 -hist           # print p50/p95/p99 latency tables
+//	supermem-bench -exp fig13 -events t.json  # trace_event capture of one cell
+//	supermem-bench -events t.json -events-cell btree/SuperMem
+//
+// -events writes one Chrome trace_event JSON file per experiment
+// (openable in Perfetto) capturing the -events-cell cell's bank
+// reservations, write-queue admissions/retirements, CWC removals, and
+// re-encryptions. -hist collects latency histograms on every cell; with
+// -json they land in the artifact's "histograms" block. Output stays
+// byte-identical at any -parallel value.
 package main
 
 import (
@@ -40,13 +53,14 @@ import (
 
 // artifact is the machine-readable per-experiment record -json emits.
 type artifact struct {
-	Experiment string            `json:"experiment"`
-	WallMillis int64             `json:"wall_ms"`
-	Parallel   int               `json:"parallel"`
-	CacheHits  int64             `json:"trace_cache_hits"`
-	CacheMiss  int64             `json:"trace_cache_misses"`
-	Tables     []*supermem.Table `json:"tables,omitempty"`
-	Text       string            `json:"text,omitempty"`
+	Experiment string             `json:"experiment"`
+	WallMillis int64              `json:"wall_ms"`
+	Parallel   int                `json:"parallel"`
+	CacheHits  int64              `json:"trace_cache_hits"`
+	CacheMiss  int64              `json:"trace_cache_misses"`
+	Tables     []*supermem.Table  `json:"tables,omitempty"`
+	Histograms []supermem.CellObs `json:"histograms,omitempty"`
+	Text       string             `json:"text,omitempty"`
 }
 
 func main() {
@@ -60,6 +74,11 @@ func main() {
 		warmup       = flag.Int("warmup", 0, "warmup transactions per core (0 = auto)")
 		footprint    = flag.Uint64("footprint", 0, "per-program footprint in bytes (0 = default 8 MiB)")
 		seed         = flag.Int64("seed", 0, "workload seed (0 = default)")
+		events       = flag.String("events", "", "write a Chrome trace_event JSON per experiment (base path; experiment name is appended)")
+		eventsCell   = flag.String("events-cell", "array/SuperMem", "workload/scheme cell to trace with -events")
+		eventsMax    = flag.Int("events-max", 1<<20, "trace event buffer cap per traced cell")
+		hist         = flag.Bool("hist", false, "collect per-cell latency histograms (printed, and embedded in -json artifacts)")
+		obsWindow    = flag.Uint64("obs-window", 0, "observability series window in cycles (0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -101,6 +120,17 @@ func main() {
 
 	run := func(name string, fn func() error) {
 		collected, collectedText = nil, ""
+		// A fresh collector per experiment so trace files and histogram
+		// blocks don't mix cells across experiments.
+		opts.Obs = nil
+		if *hist || *events != "" {
+			opts.Obs = &supermem.ObsCollector{
+				Window:         *obsWindow,
+				Hist:           *hist,
+				TraceLabel:     traceLabel(*events, *eventsCell),
+				MaxTraceEvents: *eventsMax,
+			}
+		}
 		start := time.Now()
 		hits0, miss0 := supermem.TraceCacheStats()
 		if err := fn(); err != nil {
@@ -116,8 +146,18 @@ func main() {
 		} else {
 			fmt.Printf("[%s done in %s]\n\n", name, wall.Round(time.Millisecond))
 		}
+		var hists []supermem.CellObs
+		if opts.Obs != nil {
+			hists = opts.Obs.Cells()
+			if *hist && !*jsonOut {
+				printHistograms(hists)
+			}
+			if *events != "" {
+				writeTrace(*events, name, opts.Obs)
+			}
+		}
 		if *jsonOut {
-			writeArtifact(artifact{
+			a := artifact{
 				Experiment: name,
 				WallMillis: wall.Milliseconds(),
 				Parallel:   *parallel,
@@ -125,7 +165,11 @@ func main() {
 				CacheMiss:  dm,
 				Tables:     collected,
 				Text:       collectedText,
-			})
+			}
+			if *hist {
+				a.Histograms = hists
+			}
+			writeArtifact(a)
 		}
 	}
 
@@ -248,6 +292,59 @@ func main() {
 		fmt.Fprintf(os.Stderr, "supermem-bench: unknown experiment %q (want %s)\n",
 			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "all"}, ", "))
 		os.Exit(2)
+	}
+}
+
+// traceLabel returns the trace cell selector, or "" when -events is
+// off (so histogram-only runs buffer no events).
+func traceLabel(events, cell string) string {
+	if events == "" {
+		return ""
+	}
+	return cell
+}
+
+// printHistograms renders the per-cell latency distributions -hist
+// collected.
+func printHistograms(cells []supermem.CellObs) {
+	for _, c := range cells {
+		fmt.Printf("latency histograms: %s tx=%dB wq=%d\n%s\n", c.Label, c.TxBytes, c.WriteQueue, c.Hist)
+	}
+}
+
+// writeTrace saves an experiment's traced cells as
+// <base minus extension>_<experiment>.json trace_event files.
+func writeTrace(base, expName string, c *supermem.ObsCollector) {
+	sections := c.TraceSections()
+	if len(sections) == 0 {
+		return
+	}
+	exp := strings.NewReplacer("/", "_", " ", "_").Replace(expName)
+	path := strings.TrimSuffix(base, ".json") + "_" + exp + ".json"
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := supermem.WriteTrace(f, sections...); err != nil {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "supermem-bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	kept, dropped := 0, 0
+	for _, s := range sections {
+		k, d := s.Rec.TraceStats()
+		kept += k
+		dropped += d
+	}
+	if dropped > 0 {
+		fmt.Printf("[wrote %s: %d events (%d dropped; raise -events-max); open at ui.perfetto.dev]\n\n", path, kept, dropped)
+	} else {
+		fmt.Printf("[wrote %s: %d events; open at ui.perfetto.dev]\n\n", path, kept)
 	}
 }
 

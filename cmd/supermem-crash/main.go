@@ -17,6 +17,13 @@
 //	supermem-crash -parallel 4                # worker count (output identical)
 //	supermem-crash -json                      # also write BENCH_crash.json
 //	supermem-crash -mode WB-NoBattery -stride 5   # legacy single-mode sweep
+//	supermem-crash -workload btree -events t.json -hist  # observe a reference run
+//
+// -events and -hist run one crash-free reference transaction sequence
+// per workload on the byte-accurate machine and capture it: the trace
+// timeline is the persist-step index (one instant per persist, spans
+// for RSR re-encryptions), and the histogram counts persist steps per
+// transaction.
 //
 // Determinism contract: for a fixed -seed the tested point set — and
 // therefore the entire report — is byte-identical at any -parallel
@@ -66,6 +73,10 @@ func main() {
 		nested    = flag.Bool("nested", false, "also inject crashes at every persistence step of the recovery path")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "worker count (output is identical at any value)")
 		jsonOut   = flag.Bool("json", false, "write a BENCH_crash.json artifact with the full differential matrix")
+		events    = flag.String("events", "", "write a Chrome trace_event JSON of a crash-free reference run per workload")
+		eventsMax = flag.Int("events-max", 1<<20, "trace event buffer cap per workload")
+		hist      = flag.Bool("hist", false, "print the persist-steps-per-transaction histogram of a reference run per workload")
+		obsWindow = flag.Uint64("obs-window", 0, "observability series window in persist steps (0 = default 4096)")
 	)
 	flag.Parse()
 
@@ -79,6 +90,10 @@ func main() {
 	if *modeName != "" || *stride > 0 {
 		runLegacySweep(*modeName, workloads, *steps, *stride)
 		return
+	}
+
+	if *events != "" || *hist {
+		observeReferenceRuns(workloads, *steps, *events, *eventsMax, *hist, *obsWindow)
 	}
 
 	start := time.Now()
@@ -120,6 +135,53 @@ func main() {
 		})
 	}
 	os.Exit(exitCode)
+}
+
+// observeReferenceRuns executes one crash-free reference run per
+// workload on the SuperMem machine with a recorder attached, printing
+// histograms and/or writing all workloads' trace sections to one
+// trace_event file (one process per workload).
+func observeReferenceRuns(workloads []string, steps int, events string, eventsMax int, hist bool, window uint64) {
+	var sections []supermem.TraceSection
+	for _, w := range workloads {
+		rec := supermem.NewObsRecorder(supermem.ObsOptions{
+			Window:         window,
+			Trace:          events != "",
+			MaxTraceEvents: eventsMax,
+		})
+		counts, err := supermem.CrashReferenceRun(supermem.CrashSuperMem, w, steps, rec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-crash: %s reference run: %v\n", w, err)
+			os.Exit(1)
+		}
+		if hist {
+			fmt.Printf("%s: %d transactions, persist steps per transaction:\n%s", w, len(counts), rec.Snapshot())
+		}
+		if events != "" {
+			sections = append(sections, supermem.TraceSection{
+				PID:  len(sections) + 1,
+				Name: fmt.Sprintf("%s reference (SuperMem machine)", w),
+				Rec:  rec,
+			})
+		}
+	}
+	if events == "" {
+		return
+	}
+	f, err := os.Create(events)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-crash: %v\n", err)
+		os.Exit(1)
+	}
+	werr := supermem.WriteTrace(f, sections...)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "supermem-crash: writing %s: %v\n", events, werr)
+		os.Exit(1)
+	}
+	fmt.Printf("[wrote %s; open at ui.perfetto.dev]\n", events)
 }
 
 func runLegacySweep(modeName string, workloads []string, steps, stride int) {

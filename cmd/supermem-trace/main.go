@@ -7,19 +7,27 @@
 //	supermem-trace info btree.trace
 //	supermem-trace dump btree.trace | head        # text form
 //	supermem-trace replay -scheme SuperMem btree.trace
+//	supermem-trace replay -hist -events t.json btree.trace
+//	supermem-trace events t.json                  # validate a trace_event file
 //
 // Traces are scheme-independent (they capture the program's memory
 // behaviour); replay chooses the secure-NVM design to time them under.
+// With -events, replay additionally captures a Chrome trace_event JSON
+// timeline (Perfetto-openable); the events subcommand validates such a
+// file (from replay or supermem-bench -events) and exits non-zero if it
+// is malformed or empty.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"supermem/internal/bench"
 	"supermem/internal/config"
 	"supermem/internal/core"
+	"supermem/internal/obs"
 	"supermem/internal/trace"
 )
 
@@ -36,13 +44,15 @@ func main() {
 		dump(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "events":
+		events(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: supermem-trace {record|info|dump|replay} [flags] [file]")
+	fmt.Fprintln(os.Stderr, "usage: supermem-trace {record|info|dump|replay|events} [flags] [file]")
 	os.Exit(2)
 }
 
@@ -137,6 +147,10 @@ func dump(args []string) {
 func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	schemeName := fs.String("scheme", "SuperMem", "scheme to time the trace under")
+	eventsOut := fs.String("events", "", "write a Chrome trace_event JSON capture of the replay")
+	eventsMax := fs.Int("events-max", 1<<20, "trace event buffer cap")
+	hist := fs.Bool("hist", false, "print latency histograms (p50/p95/p99)")
+	obsWindow := fs.Uint64("obs-window", 0, "observability series window in cycles (0 = default 4096)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -158,6 +172,11 @@ func replay(args []string) {
 	if err != nil {
 		fail(err)
 	}
+	var rec *obs.Recorder
+	if *eventsOut != "" || *hist {
+		rec = obs.NewRecorder(obs.Options{Window: *obsWindow, Trace: *eventsOut != "", MaxTraceEvents: *eventsMax})
+		sys.SetRecorder(rec)
+	}
 	m, err := sys.Run([]trace.Source{trace.NewSliceSource(ops)})
 	if err != nil {
 		fail(err)
@@ -166,4 +185,55 @@ func replay(args []string) {
 		scheme, m.Cycles, m.Transactions, m.AvgTxCycles(),
 		m.TotalNVMWrites(), m.DataWrites, m.CounterWrites, m.CoalescedWrites,
 		m.NVMReads, m.CtrCacheHitRate())
+	if *hist {
+		fmt.Print(rec.Snapshot())
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fail(err)
+		}
+		name := fmt.Sprintf("replay %s (%s)", fs.Arg(0), scheme)
+		if err := obs.WriteTrace(f, obs.TraceSection{PID: 1, Name: name, Rec: rec}); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		kept, dropped := rec.TraceStats()
+		fmt.Printf("wrote %s: %d events (%d dropped); open at ui.perfetto.dev\n", *eventsOut, kept, dropped)
+	}
+}
+
+// events validates a trace_event JSON file and summarises it; a
+// malformed or empty trace exits non-zero, so CI can gate on it.
+func events(args []string) {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	sum, err := obs.ReadTraceSummary(f)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: %d events (%d spans, %d instants, %d counter samples, %d metadata)\n",
+		fs.Arg(0), sum.Events, sum.Spans, sum.Instants, sum.Counters, sum.Meta)
+	names := make([]string, 0, len(sum.ByName))
+	for n := range sum.ByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  %7d  %s\n", sum.ByName[n], n)
+	}
+	if sum.Spans+sum.Instants+sum.Counters == 0 {
+		fail(fmt.Errorf("%s: trace has no events", fs.Arg(0)))
+	}
 }

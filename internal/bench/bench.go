@@ -58,12 +58,22 @@ type Opts struct {
 	// an isolated deterministic simulation and tables are assembled in
 	// declaration order.
 	Parallel int
+	// Obs, if non-nil, attaches observability recorders to the cells
+	// (histograms and/or trace events); see ObsCollector.
+	Obs *ObsCollector
 }
 
 // DefaultOpts returns sizes balancing fidelity against runtime; the CLI
 // uses these, tests use smaller ones.
 func DefaultOpts() Opts {
 	return Opts{Transactions: 200, Warmup: 0, FootprintBytes: 8 << 20, Seed: 1}
+}
+
+// newRunner builds the cell runner for these options.
+func (o Opts) newRunner() *Runner {
+	r := NewRunner(o.Parallel)
+	r.Obs = o.Obs
+	return r
 }
 
 func (o Opts) spec(base config.Config, wl string, scheme config.Scheme, txBytes, cores int) Spec {
@@ -90,7 +100,7 @@ func runGrid(o Opts, title string, cols []string, specAt func(row, col int) Spec
 			cells = append(cells, Cell{Spec: specAt(ri, ci), Row: ri, Col: ci})
 		}
 	}
-	ms, err := NewRunner(o.Parallel).RunCells(cells)
+	ms, err := o.newRunner().RunCells(cells)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +348,7 @@ func Fig16(base config.Config, o Opts) (reduction, latency *stats.Table, err err
 			}
 		}
 	}
-	ms, err := NewRunner(o.Parallel).RunCells(cells)
+	ms, err := o.newRunner().RunCells(cells)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fig16 %w", err)
 	}
@@ -381,7 +391,7 @@ func Fig17(base config.Config, o Opts) (hitRate, execTime *stats.Table, err erro
 			cells = append(cells, Cell{Spec: o.spec(cfg, wl, config.SuperMem, 1024, 1), Row: ri, Col: ci})
 		}
 	}
-	ms, err := NewRunner(o.Parallel).RunCells(cells)
+	ms, err := o.newRunner().RunCells(cells)
 	if err != nil {
 		return nil, nil, fmt.Errorf("fig17 %w", err)
 	}

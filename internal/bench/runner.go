@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"supermem/internal/core"
+	"supermem/internal/obs"
 	"supermem/internal/par"
 	"supermem/internal/stats"
 	"supermem/internal/trace"
@@ -31,6 +32,11 @@ type Runner struct {
 	// completed count, the total, and the finished cell. Calls are
 	// serialized but not ordered by cell index.
 	Progress func(done, total int, c Cell)
+	// Obs, if non-nil, attaches a per-cell observability recorder to
+	// every simulation and collects the results. Recorders are created
+	// and collected in cell order, so the captured histograms and trace
+	// events are independent of worker scheduling.
+	Obs *ObsCollector
 
 	cache *TraceCache
 }
@@ -61,10 +67,21 @@ func (r *Runner) RunCells(cells []Cell) ([]stats.Metrics, error) {
 		specs[i] = c.Spec
 	}
 	r.cache.Plan(specs)
+	var recs []*obs.Recorder
+	if r.Obs != nil {
+		recs = make([]*obs.Recorder, len(cells))
+		for i, c := range cells {
+			recs[i] = r.Obs.newRecorder(c.Spec)
+		}
+	}
 	out := make([]stats.Metrics, len(cells))
 	var done atomic.Int64
 	err := par.ForEachIndex(r.workers(), len(cells), func(i int) error {
-		m, err := r.runCell(cells[i].Spec)
+		var rec *obs.Recorder
+		if recs != nil {
+			rec = recs[i]
+		}
+		m, err := r.runCell(cells[i].Spec, rec)
 		if err != nil {
 			return fmt.Errorf("%s/%v: %w", cells[i].Spec.Workload, cells[i].Spec.Scheme, err)
 		}
@@ -77,11 +94,14 @@ func (r *Runner) RunCells(cells []Cell) ([]stats.Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	if r.Obs != nil {
+		r.Obs.collect(cells, recs)
+	}
 	return out, nil
 }
 
 // runCell replays a cell's (cached) op streams through a fresh system.
-func (r *Runner) runCell(spec Spec) (stats.Metrics, error) {
+func (r *Runner) runCell(spec Spec, rec *obs.Recorder) (stats.Metrics, error) {
 	sources, err := r.cache.Sources(spec)
 	if err != nil {
 		return stats.Metrics{}, err
@@ -93,6 +113,7 @@ func (r *Runner) runCell(spec Spec) (stats.Metrics, error) {
 	if err != nil {
 		return stats.Metrics{}, err
 	}
+	sys.SetRecorder(rec)
 	return sys.Run(sources)
 }
 

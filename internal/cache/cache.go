@@ -44,6 +44,10 @@ type Cache struct {
 	setShift uint
 	tick     uint64
 	stats    Stats
+	// observer, if set, sees every Access outcome. The cache has no
+	// notion of simulated time, so observability wiring (per-window
+	// hit/miss series) lives in the caller's closure.
+	observer func(hit bool)
 }
 
 // New builds a cache from a geometry configuration.
@@ -67,6 +71,10 @@ func New(name string, cfg config.CacheConfig) *Cache {
 
 // Name returns the cache's name (for diagnostics).
 func (c *Cache) Name() string { return c.name }
+
+// SetObserver installs a hook invoked with each Access outcome (nil
+// disables).
+func (c *Cache) SetObserver(fn func(hit bool)) { c.observer = fn }
 
 // Stats returns a copy of the accumulated statistics.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -108,6 +116,9 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	w := c.find(addr)
 	if w == nil {
 		c.stats.Misses++
+		if c.observer != nil {
+			c.observer(false)
+		}
 		return false
 	}
 	c.stats.Hits++
@@ -115,6 +126,9 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 	w.used = c.tick
 	if write {
 		w.dirty = true
+	}
+	if c.observer != nil {
+		c.observer(true)
 	}
 	return true
 }

@@ -20,6 +20,7 @@ import (
 	"supermem/internal/ctr"
 	"supermem/internal/memctrl"
 	"supermem/internal/nvm"
+	"supermem/internal/obs"
 	"supermem/internal/sim"
 	"supermem/internal/stats"
 	"supermem/internal/trace"
@@ -43,6 +44,7 @@ type System struct {
 
 	cores []*coreState
 	m     stats.Metrics
+	rec   *obs.Recorder
 
 	placement config.Placement
 
@@ -92,6 +94,28 @@ func NewSystem(cfg config.Config) (*System, error) {
 	return s, nil
 }
 
+// SetRecorder attaches an observability recorder to the system and
+// every component under it. Call before Run; nil (the default) keeps
+// all instrumentation on the no-op path.
+func (s *System) SetRecorder(r *obs.Recorder) {
+	s.rec = r
+	s.mc.SetRecorder(r)
+	s.dev.SetRecorder(r)
+	if r == nil {
+		s.eng.SetObserver(nil)
+		s.ctrCache.SetObserver(nil)
+		return
+	}
+	s.eng.SetObserver(r.EngineEvent)
+	s.ctrCache.SetObserver(func(hit bool) {
+		id := obs.SeriesCtrMisses
+		if hit {
+			id = obs.SeriesCtrHits
+		}
+		r.Count(id, s.eng.Now(), 1)
+	})
+}
+
 // Config returns the system's configuration.
 func (s *System) Config() config.Config { return s.cfg }
 
@@ -127,6 +151,7 @@ func (s *System) Run(sources []trace.Source) (stats.Metrics, error) {
 			return stats.Metrics{}, fmt.Errorf("core: core %d never finished (simulation deadlock)", c.id)
 		}
 	}
+	s.rec.Finish(s.eng.Now())
 	m := s.m
 	for _, c := range s.cores {
 		m.Add(c.m)
@@ -176,6 +201,7 @@ func (s *System) step(c *coreState, now uint64) {
 		if c.inTx {
 			c.m.Transactions++
 			c.m.TxCycles += now - c.txStart
+			s.rec.Observe(obs.HistTxLatency, now-c.txStart)
 			c.inTx = false
 		}
 		next(now)
@@ -188,6 +214,10 @@ func (s *System) step(c *coreState, now uint64) {
 			s.ctrSnapshot = s.ctrCache.Stats()
 			s.snapshotAt = now
 			s.haveSnapshot = true
+			// Histograms report measured transactions only, mirroring
+			// the metric snapshot subtraction; series and trace events
+			// keep the full timeline.
+			s.rec.ResetHists()
 		}
 		next(now)
 	case trace.Read:
@@ -221,6 +251,7 @@ func (s *System) finishOp(c *coreState, now, lat uint64, groups [][]memctrl.Entr
 		}
 		s.mc.Enqueue(at, groups[i], func(accepted uint64) {
 			c.m.WQStallCycles += accepted - at
+			s.rec.Observe(obs.HistWQStall, accepted-at)
 			run(accepted, i+1)
 		})
 	}
@@ -258,6 +289,7 @@ func (s *System) readPath(c *coreState, now, line uint64, fillDirty bool) (lat u
 		}
 	}
 	c.m.ReadStallCycles += readyAt - reqAt
+	s.rec.Observe(obs.HistReadStall, readyAt-reqAt)
 	// Fill the hierarchy: L3 then L2 then L1.
 	if v, ev := s.l3.Fill(line, false); ev && v.Dirty {
 		groups = append(groups, s.persistLine(c, readyAt, v.Addr, true)...)
@@ -415,5 +447,6 @@ func (s *System) reencryptPage(c *coreState, t uint64, page uint64) (lat uint64,
 	// The AES pipeline re-encrypts the 64 lines back to back once the
 	// last read returns.
 	lat = (readsDone - t) + s.cfg.AESCycles + config.LinesPerPage
+	s.rec.SpanArg(obs.TrackRSR, "re-encrypt page", t, t+lat, "page", page)
 	return lat, groups
 }

@@ -12,6 +12,7 @@ import (
 
 	"supermem/internal/alloc"
 	"supermem/internal/machine"
+	"supermem/internal/obs"
 	"supermem/internal/pmem"
 	"supermem/internal/workload"
 )
@@ -348,6 +349,43 @@ func persistProfile(p Params) (total int, stageStarts []int, err error) {
 		}
 	}
 	return m.Persists() - base, stageStarts, nil
+}
+
+// ReferenceRun executes the workload crash-free on the byte-accurate
+// machine with an observability recorder attached and verifies the
+// final state. It returns the persist-step count of each transaction —
+// the distribution behind supermem-crash's -hist output — while the
+// recorder (if tracing) captures every persist instant and RSR
+// re-encryption span the machine emits. Setup traffic is excluded: the
+// recorder attaches after setup, matching how crash sweeps count steps.
+func ReferenceRun(p Params, rec *obs.Recorder) ([]int, error) {
+	p = p.withDefaults()
+	m, err := machine.New(p.Mode, p.Key)
+	if err != nil {
+		return nil, err
+	}
+	w, tm, err := build(p, m)
+	if err != nil {
+		return nil, err
+	}
+	m.SetRecorder(rec)
+	counts := make([]int, 0, p.Steps)
+	prev := m.Persists()
+	for i := 0; i < p.Steps; i++ {
+		if err := w.Step(tm); err != nil {
+			return nil, fmt.Errorf("crash: reference step %d: %w", i, err)
+		}
+		counts = append(counts, m.Persists()-prev)
+		// The machine has no cycle clock, so the "latency" histogram
+		// measures transactions in persist steps.
+		rec.Observe(obs.HistTxLatency, uint64(m.Persists()-prev))
+		prev = m.Persists()
+	}
+	rec.Finish(uint64(m.Persists()))
+	if err := w.Verify(m); err != nil {
+		return nil, fmt.Errorf("crash: reference run verify: %w", err)
+	}
+	return counts, nil
 }
 
 // recoveryPersists measures the persistence micro-steps the recovery

@@ -16,6 +16,7 @@ import (
 	"supermem/internal/aes"
 	"supermem/internal/config"
 	"supermem/internal/ctr"
+	"supermem/internal/obs"
 )
 
 // Mode selects the persistence design of the machine. It is richer than
@@ -107,6 +108,11 @@ type Machine struct {
 	persists int
 	crashAt  int // -1 = never
 	crashed  bool
+
+	// rec, when non-nil, records persist instants and RSR spans. The
+	// machine has no cycle clock, so its trace timeline is the persist
+	// index.
+	rec *obs.Recorder
 }
 
 // rsrState is the 20-byte RSR: page number, the page's old major
@@ -153,6 +159,10 @@ func New(mode Mode, key []byte, opts ...Option) (*Machine, error) {
 	return m, nil
 }
 
+// SetRecorder attaches an observability recorder (nil disables).
+// Successor machines built by Recover inherit it.
+func (m *Machine) SetRecorder(r *obs.Recorder) { m.rec = r }
+
 // Mode returns the machine's persistence mode.
 func (m *Machine) Mode() Mode { return m.mode }
 
@@ -178,8 +188,10 @@ func (m *Machine) stepPersist() bool {
 	}
 	if m.crashAt >= 0 && m.persists == m.crashAt {
 		m.crashed = true
+		m.rec.Instant(obs.TrackMachine, "crash", uint64(m.persists))
 		return false
 	}
+	m.rec.Instant(obs.TrackMachine, "persist", uint64(m.persists))
 	m.persists++
 	return true
 }
@@ -349,6 +361,8 @@ func (m *Machine) SFence() {}
 // one persistence step; the final counter-line persist is another. It
 // reports false if the machine crashed partway (the RSR stays armed).
 func (m *Machine) reencryptPage(page uint64) bool {
+	start := uint64(m.persists)
+	defer func() { m.rec.SpanArg(obs.TrackRSR, "re-encrypt page", start, uint64(m.persists), "page", page) }()
 	old := m.currentCounter(page)
 	m.rsr = &rsrState{page: page, oldMajor: old.Major, oldLine: old}
 	newLine := ctr.Line{Major: old.Major + 1}
@@ -424,9 +438,11 @@ func (m *Machine) Recover(opts ...Option) *Machine {
 		ctrDirty: make(map[uint64]bool),
 		crashAt:  -1,
 	}
+	n.rec = m.rec
 	for _, o := range opts {
 		o(n)
 	}
+	n.rec.Instant(obs.TrackMachine, "recover", uint64(m.persists))
 	for a, l := range m.nvmData {
 		n.nvmData[a] = l
 	}
@@ -465,6 +481,8 @@ func (m *Machine) Recover(opts ...Option) *Machine {
 // from which the next Recover continues.
 func (m *Machine) finishReencryption() {
 	r := m.rsr
+	start := uint64(m.persists)
+	defer func() { m.rec.SpanArg(obs.TrackRSR, "rsr recovery", start, uint64(m.persists), "page", r.page) }()
 	newLine := ctr.Line{Major: r.oldMajor + 1}
 	base := r.page * config.PageSize
 	for i := 0; i < config.LinesPerPage; i++ {

@@ -316,6 +316,92 @@ func TestTinyCapacityPanics(t *testing.T) {
 	newRig(t, 1, false)
 }
 
+// Regression test for the retryAt 0-sentinel bug: cycle 0 is a
+// legitimate retry time (a bank untouched since simulation start has
+// BankFreeAt == 0), but the old encoding used 0 to mean "no retry
+// armed", so every scheduleRetry call for such a bank armed another
+// duplicate event.
+func TestScheduleRetryAtCycleZeroArmsOnce(t *testing.T) {
+	cfg := config.Default()
+	r := newRig(t, 16, false)
+	if got := r.dev.BankFreeAt(3); got != 0 {
+		t.Fatalf("untouched bank BankFreeAt = %d, want 0", got)
+	}
+	r.c.scheduleRetry(3)
+	r.c.scheduleRetry(3)
+	r.c.scheduleRetry(3)
+	if got := r.eng.Pending(); got != 1 {
+		t.Fatalf("Pending = %d events after 3 retry arms for one idle bank, want 1 (deduplicated)", got)
+	}
+	// A bank-conflict workload starting at cycle 0 drains through the
+	// armed cycle-0 retry without stalling or flooding the event queue.
+	for i := uint64(0); i < 6; i++ {
+		r.enq(0, r.data(3, i))
+	}
+	r.c.Flush(0)
+	r.eng.Run()
+	if !r.c.Drained() {
+		t.Fatal("cycle-0 bank-conflict workload never drained")
+	}
+	if r.eng.Now() != 6*cfg.WriteCycles {
+		t.Fatalf("drain finished at %d, want %d (serial on one bank)", r.eng.Now(), 6*cfg.WriteCycles)
+	}
+	if r.m.DataWrites != 6 {
+		t.Fatalf("DataWrites = %d, want 6", r.m.DataWrites)
+	}
+}
+
+// Regression test for the issue-window stall: when all 8 window entries
+// target one hot bank, a write to an idle bank just past the window must
+// still issue immediately — banks are independent — instead of waiting
+// for hot-bank retires to advance the window.
+func TestIdleBankWriteBeyondWindowIssues(t *testing.T) {
+	cfg := config.Default()
+	r := newRig(t, 16, false)
+	// 9 writes to hot bank 0: one more than the issue window.
+	for i := uint64(0); i < 9; i++ {
+		r.enq(0, r.data(0, i))
+	}
+	// One write to idle bank 5, sitting just beyond the window.
+	r.enq(0, r.data(5, 0))
+	r.c.Flush(0)
+	// Flush issues synchronously: the first hot-bank write plus the
+	// beyond-window idle-bank write must both be in flight at cycle 0.
+	if r.m.DataWrites != 2 {
+		t.Fatalf("writes in flight at cycle 0 = %d, want 2 (hot head + beyond-window idle-bank write)", r.m.DataWrites)
+	}
+	r.eng.Run()
+	if !r.c.Drained() {
+		t.Fatal("queue never drained")
+	}
+	if r.eng.Now() != 9*cfg.WriteCycles {
+		t.Fatalf("drain finished at %d, want %d (hot bank serial, idle bank in parallel)", r.eng.Now(), 9*cfg.WriteCycles)
+	}
+}
+
+// Beyond-window issue must not break CWC: a counter entry past the
+// window stays un-issued (lingering is what lets later rewrites
+// coalesce, Section 3.4.3) even when its bank is idle.
+func TestBeyondWindowLeavesCountersForCWC(t *testing.T) {
+	r := newRig(t, 32, true)
+	for i := uint64(0); i < 9; i++ {
+		r.enq(0, r.data(0, i))
+	}
+	r.enq(0, r.ctr(5, 0)) // beyond window, idle bank, but a counter
+	r.c.Flush(0)
+	if r.m.CounterWrites != 0 {
+		t.Fatalf("CounterWrites = %d at cycle 0: beyond-window issue consumed a coalescible counter", r.m.CounterWrites)
+	}
+	r.enq(0, r.ctr(5, 0)) // coalesces into the lingering entry
+	r.eng.Run()
+	if r.m.CoalescedWrites != 1 {
+		t.Fatalf("CoalescedWrites = %d, want 1", r.m.CoalescedWrites)
+	}
+	if r.m.CounterWrites != 1 {
+		t.Fatalf("CounterWrites = %d, want 1 (one survivor)", r.m.CounterWrites)
+	}
+}
+
 // The CWC benefit must grow with queue length: with a longer queue, more
 // un-issued counter writes with the same address accumulate (Figure 16a).
 func TestLongerQueueCoalescesMore(t *testing.T) {

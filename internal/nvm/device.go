@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"supermem/internal/config"
+	"supermem/internal/obs"
 )
 
 // BankStats accumulates per-bank service counts and occupancy.
@@ -26,6 +27,7 @@ type Device struct {
 	read   uint64 // read service cycles per line
 	write  uint64 // write service cycles per line
 	banks  []bank
+	rec    *obs.Recorder
 }
 
 // NewDevice builds the device from the configuration.
@@ -37,6 +39,10 @@ func NewDevice(cfg config.Config) *Device {
 		banks:  make([]bank, cfg.Banks),
 	}
 }
+
+// SetRecorder attaches an observability recorder (nil disables). Each
+// bank reservation is then recorded as a busy interval and trace span.
+func (d *Device) SetRecorder(r *obs.Recorder) { d.rec = r }
 
 // Layout returns the device's address map.
 func (d *Device) Layout() Layout { return d.layout }
@@ -55,7 +61,7 @@ func (d *Device) BankFree(b int, now uint64) bool { return d.banks[b].freeAt <= 
 // than now, and returns the completion time.
 func (d *Device) ReadLine(now, addr uint64) (done uint64) {
 	b := d.layout.BankOf(addr)
-	done = d.reserve(b, now, d.read)
+	done = d.reserve(b, now, d.read, "bank read")
 	d.banks[b].stats.Reads++
 	return done
 }
@@ -66,12 +72,12 @@ func (d *Device) ReadLine(now, addr uint64) (done uint64) {
 // back-to-back reservations regardless.
 func (d *Device) WriteLine(now, addr uint64) (done uint64) {
 	b := d.layout.BankOf(addr)
-	done = d.reserve(b, now, d.write)
+	done = d.reserve(b, now, d.write, "bank write")
 	d.banks[b].stats.Writes++
 	return done
 }
 
-func (d *Device) reserve(b int, now, dur uint64) uint64 {
+func (d *Device) reserve(b int, now, dur uint64, op string) uint64 {
 	start := now
 	if d.banks[b].freeAt > start {
 		start = d.banks[b].freeAt
@@ -79,6 +85,9 @@ func (d *Device) reserve(b int, now, dur uint64) uint64 {
 	done := start + dur
 	d.banks[b].freeAt = done
 	d.banks[b].stats.BusyCycles += dur
+	if d.rec != nil {
+		d.rec.BankBusy(b, start, done, op)
+	}
 	return done
 }
 

@@ -1,0 +1,127 @@
+package obs
+
+import "math/bits"
+
+// subBits is the sub-bucket resolution of the log-linear histogram:
+// every power-of-two range is split into 1<<subBits linear buckets, so
+// the relative quantization error is bounded by 2^-subBits (~3%).
+const subBits = 5
+
+const subCount = 1 << subBits
+
+// Histogram is a log-linear (HDR-style) histogram over uint64 values.
+// Values below subCount are recorded exactly; larger values land in one
+// of subCount linear buckets per power of two. The zero value is ready
+// to use.
+type Histogram struct {
+	counts   []uint64
+	count    uint64
+	sum      uint64
+	min, max uint64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= subBits
+	sub := (v >> uint(exp-subBits)) & (subCount - 1)
+	return (exp-subBits)*subCount + subCount + int(sub)
+}
+
+// bucketUpper returns the largest value a bucket holds — the histogram's
+// representative for quantiles, so reported quantiles never understate.
+func bucketUpper(i int) uint64 {
+	if i < subCount {
+		return uint64(i)
+	}
+	exp := subBits + (i-subCount)/subCount
+	sub := uint64((i - subCount) % subCount)
+	width := uint64(1) << uint(exp-subBits)
+	return (subCount+sub)*width + width - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h.counts == nil {
+		h.counts = make([]uint64, bucketOf(^uint64(0))+1)
+	}
+	h.counts[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Reset discards all observations (keeping the bucket storage).
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
+// Quantile returns an upper bound for the q-th quantile (0 < q <= 1)
+// with relative error at most 2^-subBits. It returns 0 for an empty
+// histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(h.count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			u := bucketUpper(i)
+			if u > h.max {
+				u = h.max // the top occupied bucket is clipped by the true max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// HistSnapshot is the JSON-friendly summary of a histogram.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P95   uint64  `json:"p95"`
+	P99   uint64  `json:"p99"`
+}
+
+// Snapshot summarises the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count,
+		Sum:   h.sum,
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	if h.count > 0 {
+		s.Mean = float64(h.sum) / float64(h.count)
+	}
+	return s
+}

@@ -1,0 +1,111 @@
+package obs
+
+// seriesKind distinguishes how a windowed series aggregates.
+type seriesKind int
+
+const (
+	// kindGauge holds a level that changes at discrete cycles; each
+	// window reports the time-weighted mean level.
+	kindGauge seriesKind = iota
+	// kindCount accumulates event counts; each window reports the total.
+	kindCount
+)
+
+// series is one windowed time series. Windows are fixed-width spans of
+// simulated cycles; window i covers [i*window, (i+1)*window).
+type series struct {
+	kind seriesKind
+	win  []float64
+
+	// Gauge state: the level has been lastVal since cycle last.
+	last    uint64
+	lastVal float64
+}
+
+// ensure grows the window slice to include index i.
+func (s *series) ensure(i int) {
+	for len(s.win) <= i {
+		s.win = append(s.win, 0)
+	}
+}
+
+// add accumulates v into the window holding cycle now.
+func (s *series) add(window, now uint64, v float64) {
+	i := int(now / window)
+	s.ensure(i)
+	s.win[i] += v
+}
+
+// set records a gauge level change at cycle now, spreading the previous
+// level's cycle-weighted contribution across the windows it covered.
+func (s *series) set(window, now uint64, v float64) {
+	s.spread(window, now)
+	s.lastVal = v
+}
+
+// spread accumulates lastVal over [last, now) and advances last.
+func (s *series) spread(window, now uint64) {
+	if now <= s.last {
+		s.last = now
+		return
+	}
+	if s.lastVal != 0 {
+		for t := s.last; t < now; {
+			i := int(t / window)
+			end := (uint64(i) + 1) * window
+			if end > now {
+				end = now
+			}
+			s.ensure(i)
+			s.win[i] += s.lastVal * float64(end-t)
+			t = end
+		}
+	}
+	s.last = now
+}
+
+// addSpan accumulates a [start, end) busy interval into the windows it
+// overlaps (used for bank-occupancy fractions).
+func (s *series) addSpan(window, start, end uint64) {
+	for t := start; t < end; {
+		i := int(t / window)
+		wEnd := (uint64(i) + 1) * window
+		if wEnd > end {
+			wEnd = end
+		}
+		s.ensure(i)
+		s.win[i] += float64(wEnd - t)
+		t = wEnd
+	}
+}
+
+// values finalizes the series at endCycle and returns one value per
+// window: counts for kindCount, time-weighted mean levels (or occupancy
+// fractions) for kindGauge, where the final partial window is averaged
+// over the cycles it actually covers.
+func (s *series) values(window, endCycle uint64) []float64 {
+	if s.kind == kindGauge {
+		s.spread(window, endCycle)
+	}
+	n := len(s.win)
+	if endCycle > 0 {
+		if need := int((endCycle + window - 1) / window); need > n {
+			n = need
+		}
+	}
+	out := make([]float64, n)
+	copy(out, s.win)
+	if s.kind == kindGauge {
+		for i := range out {
+			span := window
+			if start := uint64(i) * window; start+window > endCycle {
+				if endCycle <= start {
+					continue
+				}
+				span = endCycle - start
+			}
+			out[i] /= float64(span)
+		}
+	}
+	return out
+}

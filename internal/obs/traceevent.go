@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Tracks group trace events into named rows (Chrome trace "threads").
+// Banks get one track each starting at TrackBank0.
+type Track int
+
+const (
+	// TrackEngine carries simulator-level events.
+	TrackEngine Track = 1
+	// TrackQueue carries write-queue admission/retirement spans.
+	TrackQueue Track = 2
+	// TrackRSR carries page re-encryption spans.
+	TrackRSR Track = 3
+	// TrackMachine carries the functional machine's persist events.
+	TrackMachine Track = 4
+	// TrackBank0 is the first NVM bank's track; bank b renders on
+	// TrackBank0 + b.
+	TrackBank0 Track = 16
+)
+
+// trackName renders the thread_name metadata for a track.
+func trackName(t Track) string {
+	switch t {
+	case TrackEngine:
+		return "engine"
+	case TrackQueue:
+		return "write queue"
+	case TrackRSR:
+		return "rsr"
+	case TrackMachine:
+		return "machine"
+	}
+	if t >= TrackBank0 {
+		return fmt.Sprintf("bank %d", int(t-TrackBank0))
+	}
+	return fmt.Sprintf("track %d", int(t))
+}
+
+// event is one buffered trace_event record. Timestamps are simulated
+// cycles, rendered as trace microseconds.
+type event struct {
+	ph   byte // 'X' complete, 'b'/'e' async, 'i' instant
+	name string
+	tid  Track
+	ts   uint64
+	dur  uint64 // 'X' only
+	id   uint64 // 'b'/'e' only
+	argK string // optional single numeric arg
+	argV uint64
+}
+
+// TraceBuffer accumulates trace events up to a cap; events past the cap
+// are counted as dropped rather than silently discarded.
+type TraceBuffer struct {
+	max     int
+	events  []event
+	dropped int
+}
+
+func newTraceBuffer(max int) *TraceBuffer {
+	if max <= 0 {
+		max = 1 << 20
+	}
+	return &TraceBuffer{max: max}
+}
+
+func (b *TraceBuffer) push(e event) {
+	if len(b.events) >= b.max {
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, e)
+}
+
+// Len returns the number of buffered events.
+func (b *TraceBuffer) Len() int { return len(b.events) }
+
+// Dropped returns the number of events discarded past the cap.
+func (b *TraceBuffer) Dropped() int { return b.dropped }
+
+// TraceSection couples one recorder's buffered events and series with
+// the trace process they render under (one process per simulation cell).
+type TraceSection struct {
+	PID  int
+	Name string
+	Rec  *Recorder
+}
+
+// WriteTrace renders the sections as Chrome trace_event JSON (the JSON
+// Array Format wrapped in an object), openable in Perfetto or
+// chrome://tracing. Simulated cycles are rendered as microseconds.
+// Windowed series are included as counter tracks. Output is
+// deterministic: events appear in recording order.
+func WriteTrace(w io.Writer, sections ...TraceSection) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	comma := func() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteByte('\n')
+	}
+	meta := func(pid int, name, key, value string, tid Track) {
+		comma()
+		fmt.Fprintf(bw, `{"ph":"M","pid":%d,"tid":%d,"name":%s,"args":{%s:%s}}`,
+			pid, int(tid), strconv.Quote(name), strconv.Quote(key), strconv.Quote(value))
+	}
+	for _, s := range sections {
+		if s.Rec == nil {
+			continue
+		}
+		meta(s.PID, "process_name", "name", s.Name, 0)
+		tracks := map[Track]bool{}
+		if s.Rec.trace != nil {
+			for _, e := range s.Rec.trace.events {
+				if !tracks[e.tid] {
+					tracks[e.tid] = true
+					meta(s.PID, "thread_name", "name", trackName(e.tid), e.tid)
+				}
+			}
+			for _, e := range s.Rec.trace.events {
+				comma()
+				writeEvent(bw, s.PID, e)
+			}
+		}
+		for _, c := range s.Rec.counterTracks() {
+			for i, v := range c.values {
+				if v == 0 && !c.dense {
+					continue
+				}
+				comma()
+				fmt.Fprintf(bw, `{"ph":"C","pid":%d,"tid":0,"name":%s,"ts":%d,"args":{"value":%s}}`,
+					s.PID, strconv.Quote(c.name), uint64(i)*s.Rec.window,
+					strconv.FormatFloat(v, 'g', 6, 64))
+			}
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// writeEvent renders one event as a trace_event JSON object.
+func writeEvent(bw *bufio.Writer, pid int, e event) {
+	fmt.Fprintf(bw, `{"ph":"%c","pid":%d,"tid":%d,"name":%s,"ts":%d`,
+		e.ph, pid, int(e.tid), strconv.Quote(e.name), e.ts)
+	switch e.ph {
+	case 'X':
+		fmt.Fprintf(bw, `,"dur":%d`, e.dur)
+	case 'b', 'e':
+		fmt.Fprintf(bw, `,"cat":"wq","id":%d`, e.id)
+	case 'i':
+		bw.WriteString(`,"s":"t"`)
+	}
+	if e.argK != "" {
+		fmt.Fprintf(bw, `,"args":{%s:%d}`, strconv.Quote(e.argK), e.argV)
+	}
+	bw.WriteString("}")
+}
+
+// TraceEvent is the decoded form of one trace_event record, used by the
+// validator and tests.
+type TraceEvent struct {
+	Ph   string                 `json:"ph"`
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	TS   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	ID   json.Number            `json:"id,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// TraceSummary reports what a trace_event file contains.
+type TraceSummary struct {
+	// Events is the total record count, metadata included.
+	Events int
+	// Spans, Instants, Counters, Meta count records by phase ('X' and
+	// async pairs land in Spans).
+	Spans, Instants, Counters, Meta int
+	// ByName counts non-metadata records per event name.
+	ByName map[string]int
+}
+
+// ReadTraceSummary parses a trace_event JSON document (as produced by
+// WriteTrace, or any JSON Array Format trace) and summarises it,
+// validating the schema along the way.
+func ReadTraceSummary(r io.Reader) (TraceSummary, error) {
+	var doc struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return TraceSummary{}, fmt.Errorf("obs: parsing trace: %w", err)
+	}
+	s := TraceSummary{ByName: map[string]int{}}
+	open := map[string]int{} // async span balance per cat/id/name
+	for i, e := range doc.TraceEvents {
+		s.Events++
+		switch e.Ph {
+		case "X", "b", "e":
+			s.Spans++
+		case "i", "I":
+			s.Instants++
+		case "C":
+			s.Counters++
+		case "M":
+			s.Meta++
+			continue
+		default:
+			return TraceSummary{}, fmt.Errorf("obs: event %d: unknown phase %q", i, e.Ph)
+		}
+		if e.Name == "" {
+			return TraceSummary{}, fmt.Errorf("obs: event %d: missing name", i)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			return TraceSummary{}, fmt.Errorf("obs: event %d (%s): negative time", i, e.Name)
+		}
+		switch e.Ph {
+		case "b":
+			open[asyncKey(e)]++
+		case "e":
+			open[asyncKey(e)]--
+		}
+		s.ByName[e.Name]++
+	}
+	for k, n := range open {
+		if n < 0 {
+			return TraceSummary{}, fmt.Errorf("obs: async span %s ended %d more times than it began", k, -n)
+		}
+	}
+	return s, nil
+}
+
+func asyncKey(e TraceEvent) string {
+	return fmt.Sprintf("%d/%s/%s/%s", e.PID, e.Cat, e.Name, e.ID.String())
+}

@@ -74,10 +74,16 @@ func (h *eventHeap) pop() item {
 //
 // The zero value is ready to use.
 type Engine struct {
-	now  uint64
-	seq  uint64
-	heap eventHeap
+	now      uint64
+	seq      uint64
+	heap     eventHeap
+	observer func(now uint64)
 }
+
+// SetObserver installs a hook invoked after each fired event with the
+// event's time (nil disables). The observability layer uses it to count
+// events per window and to track the end of simulated time.
+func (e *Engine) SetObserver(fn func(now uint64)) { e.observer = fn }
 
 // Now returns the current simulated time in cycles.
 func (e *Engine) Now() uint64 { return e.now }
@@ -107,6 +113,9 @@ func (e *Engine) Step() bool {
 	it := e.heap.pop()
 	e.now = it.at
 	it.fn(e.now)
+	if e.observer != nil {
+		e.observer(it.at)
+	}
 	return true
 }
 

@@ -90,9 +90,10 @@ func (m *Metrics) Add(other Metrics) {
 // Table is a printable result table: one row per configuration point and
 // one column per measured series, as the paper's figures plot them.
 type Table struct {
-	Title   string
-	Columns []string
-	rows    []row
+	Title    string
+	Columns  []string
+	rows     []row
+	warnings []string
 }
 
 type row struct {
@@ -195,7 +196,9 @@ func decimals(v float64) int {
 
 // Normalize divides every cell of each row by the row's cell in the
 // baseline column, producing the "normalized to X" presentation the
-// paper's figures use.
+// paper's figures use. Rows whose baseline cell is 0 are skipped — a
+// silent all-zero row would poison downstream shape checks — and each
+// skip is recorded on the returned table's Warnings.
 func (t *Table) Normalize(baseline string) *Table {
 	out := NewTable(t.Title+" (normalized to "+baseline+")", t.Columns...)
 	bi := -1
@@ -210,16 +213,23 @@ func (t *Table) Normalize(baseline string) *Table {
 	}
 	for _, r := range t.rows {
 		base := r.cells[bi]
+		if base == 0 {
+			out.warnings = append(out.warnings,
+				fmt.Sprintf("stats: row %q skipped: baseline %q is 0", r.label, baseline))
+			continue
+		}
 		cells := make([]float64, len(r.cells))
 		for i, v := range r.cells {
-			if base != 0 {
-				cells[i] = v / base
-			}
+			cells[i] = v / base
 		}
 		out.AddRow(r.label, cells...)
 	}
 	return out
 }
+
+// Warnings returns the anomalies recorded while deriving this table
+// (currently: rows Normalize skipped for a zero baseline).
+func (t *Table) Warnings() []string { return t.warnings }
 
 // GeoMeanRow appends a geometric-mean summary row across existing rows
 // and returns the values (useful for "average" bars in figures).
@@ -289,18 +299,28 @@ func (t *Table) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// CSV renders the table as comma-separated values with a header row,
-// for plotting the figures outside Go.
+// csvField quotes a field per RFC 4180 when it contains a comma, quote,
+// or newline; other fields pass through unchanged.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// CSV renders the table as RFC 4180 comma-separated values with a
+// header row, for plotting the figures outside Go. Labels and column
+// headers containing commas or quotes are quoted.
 func (t *Table) CSV() string {
 	var b strings.Builder
 	b.WriteString("label")
 	for _, c := range t.Columns {
 		b.WriteByte(',')
-		b.WriteString(c)
+		b.WriteString(csvField(c))
 	}
 	b.WriteByte('\n')
 	for _, r := range t.rows {
-		b.WriteString(r.label)
+		b.WriteString(csvField(r.label))
 		for _, v := range r.cells {
 			fmt.Fprintf(&b, ",%g", v)
 		}

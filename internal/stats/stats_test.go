@@ -94,11 +94,33 @@ func TestNormalize(t *testing.T) {
 	if got := n.Cell("array", "Unsec"); got != 1.0 {
 		t.Errorf("normalized baseline = %v, want 1", got)
 	}
-	// Zero baseline must not divide by zero.
-	tb2 := NewTable("z", "A", "B")
-	tb2.AddRow("r", 0, 5)
-	if got := tb2.Normalize("A").Cell("r", "B"); got != 0 {
-		t.Errorf("zero baseline produced %v", got)
+	if w := n.Warnings(); len(w) != 0 {
+		t.Errorf("unexpected warnings: %v", w)
+	}
+}
+
+// A zero baseline must not silently emit an all-zero row (which would
+// poison figure-shape checks downstream): the row is skipped and the
+// skip is reported via Warnings.
+func TestNormalizeSkipsZeroBaseline(t *testing.T) {
+	tb := NewTable("z", "A", "B")
+	tb.AddRow("ok", 2, 6)
+	tb.AddRow("poisoned", 0, 5)
+	n := tb.Normalize("A")
+	if n.Rows() != 1 {
+		t.Fatalf("Rows = %d, want 1 (zero-baseline row skipped)", n.Rows())
+	}
+	if got := n.Cell("ok", "B"); got != 3 {
+		t.Errorf("surviving row B = %v, want 3", got)
+	}
+	w := n.Warnings()
+	if len(w) != 1 || !strings.Contains(w[0], "poisoned") || !strings.Contains(w[0], `"A"`) {
+		t.Errorf("Warnings = %v, want one naming the row and baseline", w)
+	}
+	for _, r := range n.RowLabels() {
+		if r == "poisoned" {
+			t.Error("zero-baseline row present in normalized table")
+		}
 	}
 }
 
@@ -144,6 +166,24 @@ func TestCSV(t *testing.T) {
 	want := "label,A,B\nr1,1.5,2\nr2,0.25,42000\n"
 	if got != want {
 		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+// Labels and headers containing commas, quotes, or newlines must be
+// RFC 4180-quoted so the CSV stays machine-parseable.
+func TestCSVQuotesSpecialFields(t *testing.T) {
+	tb := NewTable("csv", "tx=64, hot", `say "hi"`)
+	tb.AddRow("btree, zipf 0.99", 1, 2)
+	tb.AddRow("plain", 3, 4)
+	got := tb.CSV()
+	want := "label,\"tx=64, hot\",\"say \"\"hi\"\"\"\n" +
+		"\"btree, zipf 0.99\",1,2\n" +
+		"plain,3,4\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+	if !strings.HasPrefix(strings.Split(got, "\n")[1], `"`) {
+		t.Fatal("comma-bearing label not quoted")
 	}
 }
 

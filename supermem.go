@@ -31,11 +31,14 @@
 package supermem
 
 import (
+	"io"
+
 	"supermem/internal/bench"
 	"supermem/internal/config"
 	"supermem/internal/crash"
 	"supermem/internal/machine"
 	"supermem/internal/nvm"
+	"supermem/internal/obs"
 	"supermem/internal/stats"
 )
 
@@ -195,6 +198,11 @@ type ExperimentOpts struct {
 	// (<= 0 means GOMAXPROCS). Every cell is an isolated deterministic
 	// simulation, so results are byte-identical at any setting.
 	Parallel int
+	// Obs, if non-nil, attaches observability recorders (latency
+	// histograms and/or a trace_event capture) to the figure's cells.
+	// Recorders are handled in cell order, so observed output is
+	// byte-identical at any Parallel setting too.
+	Obs *ObsCollector
 }
 
 // DefaultExperimentOpts returns the sizing the CLI uses.
@@ -218,8 +226,48 @@ func (o ExperimentOpts) internal() bench.Opts {
 		d.Seed = o.Seed
 	}
 	d.Parallel = o.Parallel
+	d.Obs = o.Obs
 	return d
 }
+
+// Observability re-exports (see internal/obs): windowed series of
+// write-queue occupancy / bank busy / counter-cache hit rate, latency
+// histograms with p50/p95/p99, and a Chrome trace_event exporter whose
+// output opens in Perfetto (ui.perfetto.dev) or chrome://tracing.
+type (
+	// ObsCollector attaches per-cell recorders to figure runs; set
+	// ExperimentOpts.Obs to one.
+	ObsCollector = bench.ObsCollector
+	// CellObs is one cell's collected observability (label, sizing,
+	// histogram snapshot, recorder).
+	CellObs = bench.CellObs
+	// ObsRecorder gathers one simulation's series, histograms, and
+	// trace events; nil is a valid always-disabled recorder.
+	ObsRecorder = obs.Recorder
+	// ObsOptions configures a recorder (window, trace buffering).
+	ObsOptions = obs.Options
+	// ObsSnapshot summarises a recorder's latency histograms.
+	ObsSnapshot = obs.Snapshot
+	// HistSnapshot is one histogram's count/min/max/mean/p50/p95/p99.
+	HistSnapshot = obs.HistSnapshot
+	// TraceSection names one recorder's events within a trace file.
+	TraceSection = obs.TraceSection
+	// TraceSummary reports a parsed trace's event counts by phase and
+	// name.
+	TraceSummary = obs.TraceSummary
+)
+
+// NewObsRecorder builds a recorder for direct Simulate-style use.
+func NewObsRecorder(o ObsOptions) *ObsRecorder { return obs.NewRecorder(o) }
+
+// WriteTrace serializes the sections' buffered events (plus counter
+// tracks derived from their series) as Chrome trace_event JSON.
+func WriteTrace(w io.Writer, sections ...TraceSection) error {
+	return obs.WriteTrace(w, sections...)
+}
+
+// ReadTraceSummary parses and validates a trace_event JSON document.
+func ReadTraceSummary(r io.Reader) (TraceSummary, error) { return obs.ReadTraceSummary(r) }
 
 // Figure13 reproduces Figure 13 (single-core transaction latency per
 // scheme) at the given transaction size; normalize the table to "Unsec"
@@ -353,6 +401,15 @@ type (
 // verdict is compared against Table 1's expected recoverability.
 // Results are deterministic for a fixed seed at any parallelism.
 func CrashFuzz(p CrashFuzzParams) (*CrashFuzzResult, error) { return crash.Fuzz(p) }
+
+// CrashReferenceRun executes a crash-free run of the workload on the
+// byte-accurate machine with an observability recorder attached (nil is
+// fine) and returns the persist-step count of each transaction. The
+// recorder's timeline is the persist-step index, and RSR re-encryption
+// spans appear when the mode performs them (e.g. Osiris recovery).
+func CrashReferenceRun(mode CrashMode, workloadName string, steps int, rec *ObsRecorder) ([]int, error) {
+	return crash.ReferenceRun(crash.Params{Mode: mode, Workload: workloadName, Steps: steps}, rec)
+}
 
 // CrashExpectedConsistent reports Table 1's recoverability expectation
 // for a mode running a workload (WBNoBattery always corrupts; the
