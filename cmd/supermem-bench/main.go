@@ -10,6 +10,8 @@
 //	supermem-bench -exp fig17                 # counter cache sweep
 //	supermem-bench -exp table1                # recoverability sweep
 //	supermem-bench -exp ablation              # placement & coalescing ablations
+//	supermem-bench -exp faultsweep            # fault x crash x ECC grid + bank quarantine
+//	supermem-bench -exp faultsweep -fault-strict -json   # CI gate + artifact
 //	supermem-bench -exp all                   # everything
 //	supermem-bench -exp all -parallel 1       # serial (identical output)
 //	supermem-bench -exp fig13 -json           # also write BENCH_fig13_*.json
@@ -65,7 +67,9 @@ type artifact struct {
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, all")
+		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, faultsweep, all")
+		faultStrict  = flag.Bool("fault-strict", false, "exit non-zero if the faultsweep reports silent corruption under strong ECC or a dead quarantine cell")
+		faultSeed    = flag.Int64("fault-seed", 0, "base seed for the faultsweep's generated plans (0 = default)")
 		csv          = flag.Bool("csv", false, "print tables as CSV instead of aligned text")
 		jsonOut      = flag.Bool("json", false, "write a BENCH_<exp>.json artifact per experiment (wall time + tables)")
 		txBytes      = flag.Int("tx", 0, "restrict fig13/fig15 to one transaction size (256, 1024, 4096); 0 = all three")
@@ -288,10 +292,62 @@ func main() {
 			return nil
 		})
 	}
+	if want("faultsweep") {
+		ran = true
+		runFaultSweep(*parallel, *faultSeed, *faultStrict, *jsonOut)
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "supermem-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "all"}, ", "))
+			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "faultsweep", "all"}, ", "))
 		os.Exit(2)
+	}
+}
+
+// faultArtifact is the machine-readable faultsweep record. Unlike the
+// figure artifacts it carries no wall time or parallelism fields: the
+// same seed and config produce a byte-identical BENCH_faultsweep.json
+// at any -parallel setting.
+type faultArtifact struct {
+	Experiment string                     `json:"experiment"`
+	Seed       int64                      `json:"seed"`
+	Result     *supermem.FaultSweepResult `json:"result"`
+}
+
+// runFaultSweep executes the fault x crash x ECC grid plus the bank
+// quarantine cell, enforcing the no-silent-corruption claim when
+// strict is set.
+func runFaultSweep(parallel int, seed int64, strict, jsonOut bool) {
+	o := supermem.FaultSweepOpts{Parallel: parallel}
+	if seed != 0 {
+		o.PlanSeeds = []int64{seed, seed + 1}
+	}
+	start := time.Now()
+	res, err := supermem.FaultSweep(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: faultsweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	fmt.Printf("[faultsweep done in %s]\n\n", time.Since(start).Round(time.Millisecond))
+	if jsonOut {
+		a := faultArtifact{Experiment: "faultsweep", Seed: seed, Result: res}
+		data, err := json.MarshalIndent(a, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: encoding BENCH_faultsweep.json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_faultsweep.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: writing BENCH_faultsweep.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote BENCH_faultsweep.json]\n\n")
+	}
+	if strict {
+		if v := res.StrictViolations(); len(v) > 0 {
+			fmt.Fprintf(os.Stderr, "supermem-bench: faultsweep strict check FAILED:\n  %s\n", strings.Join(v, "\n  "))
+			os.Exit(1)
+		}
+		fmt.Println("faultsweep strict check passed: zero silent corruptions under strong ECC; failing bank quarantined and remapped")
 	}
 }
 

@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+
+	"supermem/internal/config"
+	"supermem/internal/core"
+	"supermem/internal/crash"
+	"supermem/internal/fault"
+	"supermem/internal/machine"
+	"supermem/internal/obs"
+	"supermem/internal/par"
+)
+
+// The faultsweep experiment crosses the deterministic fault injector
+// with the crash fuzzer: seeded fault plans run against every machine
+// mode under each ECC profile, through crash points (with a nested
+// recovery crash), and each run's differential outcome is tallied. A
+// separate timing cell drives the memory controller's read-retry and
+// bank-quarantine path on the discrete-event simulator and reports the
+// remap activity through both stats and the observability series.
+//
+// Everything is deterministic: the grid is a pure function of the
+// options (seeds included), runs land in a pre-sized slice by index,
+// and aggregation happens in grid order — so the result (and its JSON
+// serialization) is byte-identical at any parallelism.
+
+// FaultSweepECC lists the swept ECC profiles, strongest first.
+func FaultSweepECC() []fault.ECCConfig {
+	return []fault.ECCConfig{fault.ECCStrong(), fault.ECCSECDED(), fault.ECCOff()}
+}
+
+// FaultSweepOpts sizes the sweep. The zero value uses the defaults the
+// CLI runs with.
+type FaultSweepOpts struct {
+	// Workloads are the crash-machine workloads swept (default array and
+	// queue: one block-structured, one pointer-chasing with sub-line
+	// logged writes).
+	Workloads []string
+	// Steps is the workload step count per run (default 8).
+	Steps int
+	// PlanSeeds generate one fault plan each (default {1, 2}).
+	PlanSeeds []int64
+	// PlanSteps is the media-fault horizon in persist steps (default 24).
+	PlanSteps int
+	// CrashPoints are the armed persist steps; negative means no crash.
+	// Crashing points also arm a nested recovery crash at step 1.
+	// Default {-1, 3, 6}.
+	CrashPoints []int
+	// Parallel is the worker count (<= 0 means GOMAXPROCS). Results are
+	// byte-identical at any setting.
+	Parallel int
+}
+
+func (o FaultSweepOpts) withDefaults() FaultSweepOpts {
+	if len(o.Workloads) == 0 {
+		o.Workloads = []string{"array", "queue"}
+	}
+	if o.Steps == 0 {
+		o.Steps = 8
+	}
+	if len(o.PlanSeeds) == 0 {
+		o.PlanSeeds = []int64{1, 2}
+	}
+	if o.PlanSteps == 0 {
+		o.PlanSteps = 24
+	}
+	if len(o.CrashPoints) == 0 {
+		o.CrashPoints = []int{-1, 3, 6}
+	}
+	return o
+}
+
+// FaultCell tallies one mode x ECC-profile cell of the sweep.
+type FaultCell struct {
+	Mode string `json:"mode"`
+	ECC  string `json:"ecc"`
+	// Runs is workloads x plans x crash points.
+	Runs            int `json:"runs"`
+	Clean           int `json:"clean"`
+	Recovered       int `json:"recovered"`
+	Detected        int `json:"detected"`
+	Silent          int `json:"silent"`
+	BaselineCorrupt int `json:"baseline_corrupt"`
+	// Injected sums the media injections that fired across the runs.
+	Injected int `json:"injected"`
+}
+
+// QuarantineCell reports the timing-model resilience cell: a SuperMem
+// simulation with a persistently failing bank that the controller must
+// retry around, quarantine, and remap to the XBank partner.
+type QuarantineCell struct {
+	Workload         string `json:"workload"`
+	Scheme           string `json:"scheme"`
+	Cycles           uint64 `json:"cycles"`
+	ReadRetries      uint64 `json:"read_retries"`
+	UncorrectedReads uint64 `json:"uncorrected_reads"`
+	BankRemaps       uint64 `json:"bank_remaps"`
+	QuarantinedBanks uint64 `json:"quarantined_banks"`
+	// ObsBankRemaps is the remap count summed from the observability
+	// series — the same events BankRemaps counts, surfaced through the
+	// recorder so traces and artifacts agree with the metrics.
+	ObsBankRemaps uint64 `json:"obs_bank_remaps"`
+}
+
+// FaultSweepResult is the experiment's full report.
+type FaultSweepResult struct {
+	Cells      []FaultCell    `json:"cells"`
+	Quarantine QuarantineCell `json:"quarantine"`
+}
+
+// faultRun is one flattened grid point.
+type faultRun struct {
+	cell     int // index into the cells slice
+	mode     machine.Mode
+	ecc      fault.ECCConfig
+	workload string
+	planSeed int64
+	crashAt  int
+}
+
+// FaultSweep runs the full fault x crash x ECC grid plus the bank
+// quarantine timing cell.
+func FaultSweep(o FaultSweepOpts) (*FaultSweepResult, error) {
+	o = o.withDefaults()
+	profiles := FaultSweepECC()
+
+	// Flatten the grid in a fixed order: cells are mode-major, profile
+	// minor; runs within a cell are workload x plan x crash point.
+	cells := make([]FaultCell, 0, len(crash.AllModes)*len(profiles))
+	var runs []faultRun
+	for _, mode := range crash.AllModes {
+		for _, ecc := range profiles {
+			ci := len(cells)
+			cells = append(cells, FaultCell{Mode: mode.String(), ECC: ecc.Name})
+			for _, wl := range o.Workloads {
+				for _, seed := range o.PlanSeeds {
+					for _, crashAt := range o.CrashPoints {
+						runs = append(runs, faultRun{
+							cell: ci, mode: mode, ecc: ecc,
+							workload: wl, planSeed: seed, crashAt: crashAt,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	workers := o.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]crash.FaultResult, len(runs))
+	err := par.ForEachIndex(workers, len(runs), func(i int) error {
+		r := runs[i]
+		plan, err := fault.Generate(fault.PlanConfig{
+			Seed: r.planSeed, Steps: o.PlanSteps,
+			BitFlips: 2, StuckAts: 1, TornWrites: 1, CtrFaults: 1, FlipBitsMax: 1,
+		})
+		if err != nil {
+			return err
+		}
+		recoveryCrashAt := -1
+		if r.crashAt >= 0 {
+			recoveryCrashAt = 1
+		}
+		p := crash.Params{Mode: r.mode, Workload: r.workload, Steps: o.Steps, Seed: 7}
+		res, err := crash.RunFault(p, plan, r.ecc, r.crashAt, recoveryCrashAt)
+		if err != nil {
+			return fmt.Errorf("faultsweep %v/%s %s seed=%d crash@%d: %w",
+				r.mode, r.ecc.Name, r.workload, r.planSeed, r.crashAt, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate in grid order so the tallies (and JSON) are independent
+	// of worker scheduling.
+	for i, r := range runs {
+		c := &cells[r.cell]
+		c.Runs++
+		c.Injected += results[i].Stats.Injected
+		switch results[i].Outcome {
+		case crash.FaultClean:
+			c.Clean++
+		case crash.FaultRecovered:
+			c.Recovered++
+		case crash.FaultDetected:
+			c.Detected++
+		case crash.FaultSilent:
+			c.Silent++
+		case crash.FaultBaselineCorrupt:
+			c.BaselineCorrupt++
+		}
+	}
+
+	q, err := quarantineCell()
+	if err != nil {
+		return nil, err
+	}
+	return &FaultSweepResult{Cells: cells, Quarantine: q}, nil
+}
+
+// quarantineCell runs the timing-model resilience cell: bank 0 fails
+// every access, so reads retry with backoff until the controller
+// quarantines the bank and remaps to its XBank partner; a latency
+// spike window on another bank stretches service times without
+// failing. The cell must complete — the assertion is that a dead bank
+// degrades the simulation instead of wedging it.
+func quarantineCell() (QuarantineCell, error) {
+	cfg := config.Default()
+	cfg.Scheme = config.SuperMem
+	cfg.ReadRetryLimit = 3
+	cfg.ReadRetryBackoff = 16
+	cfg.BankQuarantineThreshold = 4
+
+	spec := Spec{
+		Base:           cfg,
+		Workload:       "array",
+		Scheme:         config.SuperMem,
+		TxBytes:        1024,
+		Transactions:   50,
+		Warmup:         8,
+		Cores:          1,
+		FootprintBytes: 1 << 20,
+		Seed:           1,
+	}
+	sources, err := BuildSources(spec)
+	if err != nil {
+		return QuarantineCell{}, err
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return QuarantineCell{}, err
+	}
+	rec := obs.NewRecorder(obs.Options{Window: 4096})
+	sys.SetRecorder(rec)
+	plan := fault.Plan{Injections: []fault.Injection{
+		// Bank 0 fails every access for the whole run.
+		{Kind: fault.BankFault, Step: 0, Target: 0, Arg: 1 << 30},
+		// Bank 2 takes a 300-cycle latency spike for 64 accesses.
+		{Kind: fault.BankLatency, Step: 16, Target: 2, Arg: 64 | 300<<32},
+	}}
+	sys.SetBankFaults(fault.NewBankFaults(plan, cfg.Banks))
+	m, err := sys.Run(sources)
+	if err != nil {
+		return QuarantineCell{}, err
+	}
+	var obsRemaps uint64
+	for _, v := range rec.SeriesValues(obs.SeriesBankRemaps) {
+		obsRemaps += uint64(v)
+	}
+	return QuarantineCell{
+		Workload:         spec.Workload,
+		Scheme:           spec.Scheme.String(),
+		Cycles:           m.Cycles,
+		ReadRetries:      m.ReadRetries,
+		UncorrectedReads: m.UncorrectedReads,
+		BankRemaps:       m.BankRemaps,
+		QuarantinedBanks: m.QuarantinedBanks,
+		ObsBankRemaps:    obsRemaps,
+	}, nil
+}
+
+// StrictViolations returns the no-silent-corruption violations the
+// -fault-strict CLI flag fails on: any Silent outcome in a cell whose
+// ECC profile detects unboundedly ("strong"), or a quarantine cell
+// that never remapped. An empty slice means the headline claim held.
+func (r *FaultSweepResult) StrictViolations() []string {
+	var v []string
+	for _, c := range r.Cells {
+		if c.ECC == "strong" && c.Silent > 0 {
+			v = append(v, fmt.Sprintf("%s/%s: %d silent corruption(s) with strong ECC", c.Mode, c.ECC, c.Silent))
+		}
+	}
+	if r.Quarantine.QuarantinedBanks == 0 {
+		v = append(v, "quarantine cell: failing bank was never quarantined")
+	}
+	if r.Quarantine.BankRemaps == 0 {
+		v = append(v, "quarantine cell: no accesses were remapped")
+	}
+	if r.Quarantine.BankRemaps != r.Quarantine.ObsBankRemaps {
+		v = append(v, fmt.Sprintf("quarantine cell: stats count %d remaps but obs series %d",
+			r.Quarantine.BankRemaps, r.Quarantine.ObsBankRemaps))
+	}
+	return v
+}
+
+// String renders the sweep as an aligned report.
+func (r *FaultSweepResult) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "Fault sweep: differential fault x crash outcomes per mode and ECC profile\n")
+	fmt.Fprintf(&b, "%-16s %-8s %6s %6s %10s %9s %7s %9s %9s\n",
+		"mode", "ecc", "runs", "clean", "recovered", "detected", "silent", "baseline", "injected")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-16s %-8s %6d %6d %10d %9d %7d %9d %9d\n",
+			c.Mode, c.ECC, c.Runs, c.Clean, c.Recovered, c.Detected, c.Silent, c.BaselineCorrupt, c.Injected)
+	}
+	q := r.Quarantine
+	fmt.Fprintf(&b, "\nBank quarantine cell (%s/%s, bank 0 dead, spike on bank 2):\n", q.Workload, q.Scheme)
+	fmt.Fprintf(&b, "  cycles=%d read_retries=%d uncorrected=%d quarantined_banks=%d bank_remaps=%d (obs %d)\n",
+		q.Cycles, q.ReadRetries, q.UncorrectedReads, q.QuarantinedBanks, q.BankRemaps, q.ObsBankRemaps)
+	return b.String()
+}

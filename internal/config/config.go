@@ -195,6 +195,18 @@ type Config struct {
 	// OTP generation.
 	AESCycles uint64
 
+	// ReadRetryLimit is the maximum number of read attempts per line
+	// (initial attempt included) before the controller gives up on a
+	// transiently failing bank and counts the read as uncorrected.
+	ReadRetryLimit int
+	// ReadRetryBackoff is the base gap in cycles between read attempts;
+	// the gap doubles with each further retry (exponential backoff).
+	ReadRetryBackoff uint64
+	// BankQuarantineThreshold is the number of failed accesses after
+	// which a bank is quarantined and its traffic remapped to the
+	// partner bank (b + Banks/2) mod Banks. 0 disables quarantine.
+	BankQuarantineThreshold int
+
 	// Scheme selects the secure-NVM design under evaluation.
 	Scheme Scheme
 
@@ -223,6 +235,10 @@ func Default() Config {
 		WriteQueueEntries: 32,
 		AESCycles:         24,
 		Scheme:            SuperMem,
+
+		ReadRetryLimit:          4,
+		ReadRetryBackoff:        16,
+		BankQuarantineThreshold: 8,
 	}
 }
 
@@ -266,14 +282,25 @@ func (c Config) Validate() error {
 	if c.MemBytes == 0 || c.MemBytes%PageSize != 0 {
 		return fmt.Errorf("config: memory capacity %d must be a positive multiple of the page size", c.MemBytes)
 	}
-	if c.Banks <= 0 || bits.OnesCount(uint(c.Banks)) != 1 {
-		return fmt.Errorf("config: bank count %d must be a positive power of two", c.Banks)
+	if c.Banks < 2 || bits.OnesCount(uint(c.Banks)) != 1 {
+		// Banks == 1 is a power of two but breaks XBank placement
+		// ((X+N/2) mod N needs a partner bank) and bank quarantine.
+		return fmt.Errorf("config: bank count %d must be a power of two >= 2", c.Banks)
 	}
-	if c.WriteQueueEntries <= 0 {
-		return fmt.Errorf("config: write queue must have at least one entry, got %d", c.WriteQueueEntries)
+	if c.WriteQueueEntries < 2 {
+		return fmt.Errorf("config: write queue needs >= 2 entries to hold an atomic data+counter pair, got %d", c.WriteQueueEntries)
 	}
 	if c.ReadCycles == 0 || c.WriteCycles == 0 {
 		return fmt.Errorf("config: PCM service times must be positive")
+	}
+	if c.ReadRetryLimit < 1 {
+		return fmt.Errorf("config: read retry limit must be >= 1 (the initial attempt), got %d", c.ReadRetryLimit)
+	}
+	if c.ReadRetryLimit > 64 {
+		return fmt.Errorf("config: read retry limit %d is unreasonably large (max 64)", c.ReadRetryLimit)
+	}
+	if c.BankQuarantineThreshold < 0 {
+		return fmt.Errorf("config: bank quarantine threshold must be >= 0 (0 disables), got %d", c.BankQuarantineThreshold)
 	}
 	return nil
 }

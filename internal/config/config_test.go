@@ -118,8 +118,14 @@ func TestValidateRejectsBadGeometry(t *testing.T) {
 		{"zero memory", func(c *Config) { c.MemBytes = 0 }, "capacity"},
 		{"unaligned memory", func(c *Config) { c.MemBytes = PageSize + 64 }, "multiple"},
 		{"three banks", func(c *Config) { c.Banks = 3 }, "power of two"},
+		{"one bank", func(c *Config) { c.Banks = 1 }, "power of two >= 2"},
+		{"five banks", func(c *Config) { c.Banks = 5 }, "power of two"},
 		{"zero wq", func(c *Config) { c.WriteQueueEntries = 0 }, "write queue"},
+		{"one-entry wq", func(c *Config) { c.WriteQueueEntries = 1 }, "data+counter pair"},
 		{"zero write latency", func(c *Config) { c.WriteCycles = 0 }, "service"},
+		{"zero retry limit", func(c *Config) { c.ReadRetryLimit = 0 }, "retry limit"},
+		{"huge retry limit", func(c *Config) { c.ReadRetryLimit = 1000 }, "retry limit"},
+		{"negative quarantine", func(c *Config) { c.BankQuarantineThreshold = -1 }, "quarantine"},
 	}
 	for _, tc := range cases {
 		c := Default()

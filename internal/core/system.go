@@ -18,6 +18,7 @@ import (
 	"supermem/internal/cache"
 	"supermem/internal/config"
 	"supermem/internal/ctr"
+	"supermem/internal/fault"
 	"supermem/internal/memctrl"
 	"supermem/internal/nvm"
 	"supermem/internal/obs"
@@ -56,6 +57,11 @@ type System struct {
 	ctrSnapshot  cache.Stats
 	snapshotAt   uint64
 	haveSnapshot bool
+
+	// runErr records an internal-invariant failure surfaced by a
+	// component during the event loop (there is no error path out of an
+	// engine callback); Run reports it after the loop drains.
+	runErr error
 }
 
 type coreState struct {
@@ -80,7 +86,12 @@ func NewSystem(cfg config.Config) (*System, error) {
 	}
 	s.dev = nvm.NewDevice(cfg)
 	s.layout = s.dev.Layout()
-	s.mc = memctrl.New(s.eng, s.dev, cfg.WriteQueueEntries, cfg.CWC(), &s.m)
+	mc, err := memctrl.New(s.eng, s.dev, cfg.WriteQueueEntries, cfg.CWC(), &s.m)
+	if err != nil {
+		return nil, err
+	}
+	s.mc = mc
+	s.mc.SetResilience(cfg.ReadRetryLimit, cfg.ReadRetryBackoff, cfg.BankQuarantineThreshold)
 	s.l3 = cache.New("L3", cfg.L3)
 	s.ctrCache = cache.New("ctrcache", cfg.CounterCache)
 	s.ctrStore = ctr.NewStore()
@@ -116,6 +127,12 @@ func (s *System) SetRecorder(r *obs.Recorder) {
 	})
 }
 
+// SetBankFaults attaches a bank-fault schedule to the NVM device (nil
+// disables). Call before Run; the memory controller's read-retry and
+// quarantine policy (config.ReadRetryLimit and friends) then reacts to
+// the injected failures and latency spikes.
+func (s *System) SetBankFaults(f *fault.BankFaults) { s.dev.SetFaults(f) }
+
 // Config returns the system's configuration.
 func (s *System) Config() config.Config { return s.cfg }
 
@@ -142,9 +159,12 @@ func (s *System) Run(sources []trace.Source) (stats.Metrics, error) {
 	s.eng.Run()
 	// Flush the write queue's lazy tail so every accepted write reaches
 	// NVM and is counted.
-	for !s.mc.Drained() {
+	for s.runErr == nil && !s.mc.Drained() {
 		s.mc.Flush(s.eng.Now())
 		s.eng.Run()
+	}
+	if s.runErr != nil {
+		return stats.Metrics{}, s.runErr
 	}
 	for _, c := range s.cores {
 		if !c.done {
@@ -249,11 +269,18 @@ func (s *System) finishOp(c *coreState, now, lat uint64, groups [][]memctrl.Entr
 			next(at)
 			return
 		}
-		s.mc.Enqueue(at, groups[i], func(accepted uint64) {
+		err := s.mc.Enqueue(at, groups[i], func(accepted uint64) {
 			c.m.WQStallCycles += accepted - at
 			s.rec.Observe(obs.HistWQStall, accepted-at)
 			run(accepted, i+1)
 		})
+		if err != nil {
+			// The persist paths only build 1- or 2-entry groups, so this
+			// is an internal invariant break; stop the core and surface
+			// the error from Run.
+			s.runErr = err
+			c.done = true
+		}
 	}
 	s.eng.At(t, func(at uint64) { run(at, 0) })
 }

@@ -8,9 +8,11 @@
 package crash
 
 import (
+	"errors"
 	"fmt"
 
 	"supermem/internal/alloc"
+	"supermem/internal/fault"
 	"supermem/internal/machine"
 	"supermem/internal/obs"
 	"supermem/internal/pmem"
@@ -125,9 +127,11 @@ type Result struct {
 }
 
 // runToCrash executes the workload with a crash armed at the given
-// persistence step (counted from the end of setup) and returns the
-// machine, the workload, and how many transactions completed.
-func runToCrash(p Params, crashAt int) (*machine.Machine, workload.Workload, int, error) {
+// persistence step (counted from the end of setup; negative leaves the
+// crash unarmed) and returns the machine, the workload, and how many
+// transactions completed. A non-nil injector attaches after setup, so
+// its step schedule counts from the same origin as crash points.
+func runToCrash(p Params, crashAt int, inj *fault.Injector) (*machine.Machine, workload.Workload, int, error) {
 	m, err := machine.New(p.Mode, p.Key)
 	if err != nil {
 		return nil, nil, 0, err
@@ -136,15 +140,27 @@ func runToCrash(p Params, crashAt int) (*machine.Machine, workload.Workload, int
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	m.ArmCrashAtPersist(crashAt)
+	if inj != nil {
+		m.SetInjector(inj)
+	}
+	if crashAt >= 0 {
+		m.ArmCrashAtPersist(crashAt)
+	}
 	completed := 0
 	for i := 0; i < p.Steps && !m.Crashed(); i++ {
-		if err := w.Step(tm); err != nil {
+		if err := stepOnce(w, tm, inj != nil); err != nil {
 			// A step interrupted by the power failure may fail its own
 			// sanity checks (reads on a dead machine return zeros);
 			// that is the crash, not a bug.
 			if m.Crashed() {
 				break
+			}
+			if inj != nil {
+				// With faults injected, a live-run step failure is an
+				// observable outcome — the corruption broke the
+				// structure mid-run — not an infrastructure error.
+				// Report it through the machine's step-failure slot.
+				return m, w, completed, &stepFailure{step: i, err: err}
 			}
 			return nil, nil, 0, fmt.Errorf("crash: step %d: %w", i, err)
 		}
@@ -155,11 +171,37 @@ func runToCrash(p Params, crashAt int) (*machine.Machine, workload.Workload, int
 	return m, w, completed, nil
 }
 
+// stepFailure marks a workload step broken by injected corruption on a
+// live (uncrashed) machine. It travels through runToCrash's error
+// return but is peeled off by runAndRecover rather than propagated.
+type stepFailure struct {
+	step int
+	err  error
+}
+
+func (s *stepFailure) Error() string {
+	return fmt.Sprintf("crash: step %d broken by injected fault: %v", s.step, s.err)
+}
+
+// stepOnce runs one workload step; with faults armed it also converts a
+// panic into an error, since a structure corrupted mid-run can break
+// the workload's own bookkeeping in ways it never guards against.
+func stepOnce(w workload.Workload, tm *pmem.TxManager, tolerant bool) (err error) {
+	if tolerant {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("workload panicked on corrupted state: %v", r)
+			}
+		}()
+	}
+	return w.Step(tm)
+}
+
 // Run executes the workload with a crash armed at the given persistence
 // step (counted from the end of setup), recovers, and classifies the
 // outcome.
 func Run(p Params, crashAt int) (Result, error) {
-	res, _, err := runAndRecover(p, crashAt, -1)
+	res, _, err := runAndRecover(p, crashAt, -1, nil)
 	return res, err
 }
 
@@ -171,16 +213,29 @@ func Run(p Params, crashAt int) (Result, error) {
 // bugs hide in. After the nested crash a second (uninterrupted)
 // recovery runs, and *that* state must match a replay.
 func RunNested(p Params, crashAt, recoveryCrashAt int) (Result, error) {
-	res, _, err := runAndRecover(p, crashAt, recoveryCrashAt)
+	res, _, err := runAndRecover(p, crashAt, recoveryCrashAt, nil)
 	return res, err
 }
 
 // runAndRecover is the shared engine of Run/RunNested: it also returns
 // the final recovered machine so the fuzzer can diff divergent bytes.
-func runAndRecover(p Params, crashAt, recoveryCrashAt int) (Result, *machine.Machine, error) {
+func runAndRecover(p Params, crashAt, recoveryCrashAt int, inj *fault.Injector) (Result, *machine.Machine, error) {
 	p = p.withDefaults()
-	m, w, completed, err := runToCrash(p, crashAt)
+	m, w, completed, err := runToCrash(p, crashAt, inj)
 	if err != nil {
+		var sf *stepFailure
+		if errors.As(err, &sf) {
+			// Injected corruption broke the structure on the live run:
+			// the machine never crashed, so there is nothing to recover —
+			// the divergence itself is the result.
+			return Result{
+				CrashStep:         crashAt,
+				RecoveryCrashStep: -1,
+				CompletedSteps:    completed,
+				Consistent:        false,
+				Detail:            sf.Error(),
+			}, m, nil
+		}
 		return Result{}, nil, err
 	}
 	res := Result{CrashStep: crashAt, RecoveryCrashStep: -1, CompletedSteps: completed, Crashed: m.Crashed()}
@@ -394,7 +449,7 @@ func ReferenceRun(p Params, rec *obs.Recorder) ([]int, error) {
 // wrote nothing (nothing to finish, no sealed log).
 func recoveryPersists(p Params, crashAt int) (int, error) {
 	p = p.withDefaults()
-	m, _, _, err := runToCrash(p, crashAt)
+	m, _, _, err := runToCrash(p, crashAt, nil)
 	if err != nil {
 		return 0, err
 	}

@@ -512,7 +512,7 @@ func shrink(p Params, fail Result) (*Shrink, error) {
 		sh.CrashStep = hi
 	}
 
-	res, r, err := runAndRecover(p, sh.CrashStep, sh.RecoveryCrashStep)
+	res, r, err := runAndRecover(p, sh.CrashStep, sh.RecoveryCrashStep, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,83 @@
+package fault
+
+// BankFaults is the timing-model side of a plan: per-bank windows of
+// failing accesses and latency spikes, keyed by each bank's own access
+// ordinal. Ordinals — not cycles — make the schedule independent of
+// scheduling decisions elsewhere, so the same plan perturbs the same
+// accesses under any controller policy.
+//
+// A nil *BankFaults is a valid disabled schedule.
+type BankFaults struct {
+	banks  []bankWindows
+	access []uint64 // per-bank ordinal clocks
+}
+
+type bankWindows struct {
+	fail  []window
+	spike []window
+}
+
+// window covers access ordinals [from, to).
+type window struct {
+	from, to uint64
+	extra    uint64 // BankLatency only
+}
+
+// NewBankFaults compiles the plan's bank injections for a device with
+// the given bank count. Out-of-range targets are folded in modulo.
+func NewBankFaults(p Plan, banks int) *BankFaults {
+	if banks <= 0 {
+		return nil
+	}
+	b := &BankFaults{banks: make([]bankWindows, banks), access: make([]uint64, banks)}
+	any := false
+	for _, in := range p.Injections {
+		bank := int(in.Target) % banks
+		switch in.Kind {
+		case BankFault:
+			n := in.Arg & 0xFFFFFFFF
+			if n == 0 {
+				n = 1
+			}
+			b.banks[bank].fail = append(b.banks[bank].fail, window{from: uint64(in.Step), to: uint64(in.Step) + n})
+			any = true
+		case BankLatency:
+			n := in.Arg & 0xFFFFFFFF
+			if n == 0 {
+				n = 1
+			}
+			extra := in.Arg >> 32
+			b.banks[bank].spike = append(b.banks[bank].spike, window{from: uint64(in.Step), to: uint64(in.Step) + n, extra: extra})
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return b
+}
+
+// OnAccess advances bank's access clock and reports whether this access
+// fails and how many extra service cycles it takes. Overlapping spike
+// windows accumulate; a failing access still burns its (spiked) service
+// time.
+func (b *BankFaults) OnAccess(bank int) (fail bool, extra uint64) {
+	if b == nil || bank < 0 || bank >= len(b.banks) {
+		return false, 0
+	}
+	ord := b.access[bank]
+	b.access[bank]++
+	w := &b.banks[bank]
+	for _, f := range w.fail {
+		if ord >= f.from && ord < f.to {
+			fail = true
+			break
+		}
+	}
+	for _, s := range w.spike {
+		if ord >= s.from && ord < s.to {
+			extra += s.extra
+		}
+	}
+	return fail, extra
+}

@@ -1,0 +1,84 @@
+package fault
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary plan codec: a fixed-width little-endian record format so a
+// plan can ride in artifacts and fuzz corpora. Layout:
+//
+//	magic  "SMFP1"            5 bytes
+//	seed   int64              8 bytes
+//	count  uint32             4 bytes
+//	count × record:
+//	  kind   uint8            1 byte
+//	  step   uint32           4 bytes
+//	  target uint32           4 bytes
+//	  arg    uint64           8 bytes
+//
+// Encode∘Decode is the identity on encoded bytes (the fixed point the
+// fuzz target checks): record order is preserved and every field is
+// written back verbatim.
+
+const (
+	planMagic  = "SMFP1"
+	recordSize = 1 + 4 + 4 + 8
+	// maxPlanInjections bounds decoding so hostile counts can't force a
+	// huge allocation; real plans are a few dozen records.
+	maxPlanInjections = 1 << 20
+)
+
+// EncodePlan serializes the plan.
+func EncodePlan(p Plan) []byte {
+	out := make([]byte, 0, len(planMagic)+12+len(p.Injections)*recordSize)
+	out = append(out, planMagic...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(p.Seed))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.Injections)))
+	for _, in := range p.Injections {
+		out = append(out, byte(in.Kind))
+		out = binary.LittleEndian.AppendUint32(out, in.Step)
+		out = binary.LittleEndian.AppendUint32(out, in.Target)
+		out = binary.LittleEndian.AppendUint64(out, in.Arg)
+	}
+	return out
+}
+
+// DecodePlan parses an encoded plan, rejecting bad magic, unknown
+// kinds, truncation, and trailing bytes.
+func DecodePlan(data []byte) (Plan, error) {
+	if len(data) < len(planMagic)+12 {
+		return Plan{}, fmt.Errorf("fault: plan too short (%d bytes)", len(data))
+	}
+	if string(data[:len(planMagic)]) != planMagic {
+		return Plan{}, fmt.Errorf("fault: bad plan magic %q", data[:len(planMagic)])
+	}
+	data = data[len(planMagic):]
+	seed := int64(binary.LittleEndian.Uint64(data))
+	count := binary.LittleEndian.Uint32(data[8:])
+	data = data[12:]
+	if count > maxPlanInjections {
+		return Plan{}, fmt.Errorf("fault: plan count %d exceeds limit %d", count, maxPlanInjections)
+	}
+	if len(data) != int(count)*recordSize {
+		return Plan{}, fmt.Errorf("fault: plan body is %d bytes, want %d for %d records", len(data), int(count)*recordSize, count)
+	}
+	p := Plan{Seed: seed}
+	if count > 0 {
+		p.Injections = make([]Injection, 0, count)
+	}
+	for i := uint32(0); i < count; i++ {
+		rec := data[int(i)*recordSize:]
+		k := Kind(rec[0])
+		if k >= numKinds {
+			return Plan{}, fmt.Errorf("fault: plan record %d has unknown kind %d", i, rec[0])
+		}
+		p.Injections = append(p.Injections, Injection{
+			Kind:   k,
+			Step:   binary.LittleEndian.Uint32(rec[1:]),
+			Target: binary.LittleEndian.Uint32(rec[5:]),
+			Arg:    binary.LittleEndian.Uint64(rec[9:]),
+		})
+	}
+	return p, nil
+}

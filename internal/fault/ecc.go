@@ -1,0 +1,114 @@
+package fault
+
+import (
+	"fmt"
+	"math/bits"
+
+	"supermem/internal/config"
+)
+
+// ECCConfig models per-line error-correcting-code strength. The model
+// is metadata-only: the injector keeps a shadow of each line's intended
+// content, and a read classifies the corruption by Hamming distance —
+// up to CorrectBits flipped bits are corrected (the intended content is
+// returned), up to DetectBits are detected (the read fails loudly), and
+// anything beyond passes through as silent corruption. ECC covers the
+// whole 64 B line, so a torn write (≥64 wrong bits in practice) is
+// detectable even though each 8 B word landed atomically.
+type ECCConfig struct {
+	// Enabled gates the model entirely; disabled means every corrupted
+	// read is silent.
+	Enabled bool `json:"enabled"`
+	// CorrectBits is the per-line correction strength.
+	CorrectBits int `json:"correct_bits"`
+	// DetectBits is the per-line detection strength; negative means
+	// unbounded detection (e.g. a cryptographic line MAC).
+	DetectBits int `json:"detect_bits"`
+	// Name labels the profile in reports (optional).
+	Name string `json:"name,omitempty"`
+}
+
+// ECCOff disables the model: corruption flows through silently.
+func ECCOff() ECCConfig { return ECCConfig{Name: "off"} }
+
+// ECCSECDED is classic single-error-correct / double-error-detect.
+func ECCSECDED() ECCConfig {
+	return ECCConfig{Enabled: true, CorrectBits: 1, DetectBits: 2, Name: "secded"}
+}
+
+// ECCStrong corrects single bits and detects any wider corruption —
+// the "line MAC" profile under which no fault may go silent.
+func ECCStrong() ECCConfig {
+	return ECCConfig{Enabled: true, CorrectBits: 1, DetectBits: -1, Name: "strong"}
+}
+
+// Validate range-checks the profile.
+func (e ECCConfig) Validate() error {
+	if !e.Enabled {
+		if e.CorrectBits != 0 || e.DetectBits != 0 {
+			return fmt.Errorf("fault: disabled ECC must not set strengths (correct=%d detect=%d)", e.CorrectBits, e.DetectBits)
+		}
+		return nil
+	}
+	if e.CorrectBits < 0 || e.CorrectBits > LineBits {
+		return fmt.Errorf("fault: ecc correct_bits %d out of range [0,%d]", e.CorrectBits, LineBits)
+	}
+	if e.DetectBits >= 0 && e.DetectBits < e.CorrectBits {
+		return fmt.Errorf("fault: ecc detect_bits %d below correct_bits %d", e.DetectBits, e.CorrectBits)
+	}
+	return nil
+}
+
+// Outcome classifies one read of a (possibly corrupted) line.
+type Outcome uint8
+
+const (
+	// Clean means the line matched its intended content.
+	Clean Outcome = iota
+	// Corrected means ECC repaired the corruption transparently.
+	Corrected
+	// Detected means ECC flagged the corruption but could not repair it.
+	Detected
+	// Silent means the corruption passed undetected to the reader.
+	Silent
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Clean:
+		return "clean"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	case Silent:
+		return "silent"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// hamming counts differing bits between two lines.
+func hamming(a, b [config.LineSize]byte) int {
+	d := 0
+	for i := range a {
+		d += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return d
+}
+
+// Classify applies the profile to a line with d corrupted bits.
+func (e ECCConfig) Classify(d int) Outcome {
+	switch {
+	case d == 0:
+		return Clean
+	case !e.Enabled:
+		return Silent
+	case d <= e.CorrectBits:
+		return Corrected
+	case e.DetectBits < 0 || d <= e.DetectBits:
+		return Detected
+	default:
+		return Silent
+	}
+}

@@ -1,0 +1,47 @@
+//go:build ignore
+
+// gencorpus regenerates the checked-in fuzz seed corpus for the plan
+// codec from representative generated plans:
+//
+//	go run gencorpus.go
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"supermem/internal/fault"
+)
+
+func main() {
+	seeds := map[string][]byte{
+		"seed-empty": fault.EncodePlan(fault.Plan{Seed: 1}),
+	}
+	full, err := fault.Generate(fault.PlanConfig{
+		Seed: 42, Steps: 16, BitFlips: 2, FlipBitsMax: 3, StuckAts: 1,
+		TornWrites: 1, CtrFaults: 1, Banks: 8, BankFaults: 1, LatencySpikes: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	enc := fault.EncodePlan(full)
+	seeds["seed-mixed"] = enc
+	seeds["seed-truncated"] = enc[:len(enc)-3]
+	media, err := fault.Generate(fault.PlanConfig{Seed: -9, Steps: 64, BitFlips: 4, TornWrites: 2, CtrFaults: 2})
+	if err != nil {
+		panic(err)
+	}
+	seeds["seed-media"] = fault.EncodePlan(media)
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzPlanCodec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+	}
+}

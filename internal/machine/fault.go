@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"sort"
+
+	"supermem/internal/ctr"
+	"supermem/internal/fault"
+)
+
+// Fault-injection plumbing: every NVM mutation in the persist paths
+// funnels through persistData/persistCtr so the injector can shadow
+// intended content (its ECC metadata), tear writes, and re-apply stuck
+// cells; every NVM read funnels through readData/readCtr so corruption
+// is classified (corrected / detected / silent) at the moment the
+// machine consumes it — including reads performed by recovery and by
+// the RSR re-encryption sweep.
+
+// SetInjector attaches a fault injector (nil disables injection).
+// Successor machines built by Recover inherit it, and the injector's
+// own monotone step clock keeps ticking across the crash — which is
+// what lets one plan target faults *during* recovery.
+func (m *Machine) SetInjector(j *fault.Injector) { m.inj = j }
+
+// Injector returns the attached injector (nil when none).
+func (m *Machine) Injector() *fault.Injector { return m.inj }
+
+// FaultStats returns the injector's counters (zero value when no
+// injector is attached).
+func (m *Machine) FaultStats() fault.Stats { return m.inj.Stats() }
+
+// injMem adapts the machine's persisted state to fault.Memory. Media
+// injections fire against NVM contents only — never the volatile CPU
+// or counter caches, which real media faults cannot touch.
+type injMem struct{ m *Machine }
+
+func (v injMem) DataLines() []uint64 { return v.m.NVMLines() }
+
+func (v injMem) CtrPages() []uint64 {
+	out := make([]uint64, 0, len(v.m.nvmCtr))
+	for p := range v.m.nvmCtr {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+func (v injMem) MutateData(addr uint64, f func(*line)) {
+	l := v.m.nvmData[addr]
+	f(&l)
+	v.m.nvmData[addr] = l
+}
+
+// MutateCtr corrupts the counter line in its packed (wire) domain, so
+// flips land on the split-counter encoding the way a media fault would:
+// a flipped bit may hit the shared major counter — garbling every line
+// of the page — or a single 7-bit minor.
+func (v injMem) MutateCtr(page uint64, f func(*line)) {
+	cl := v.m.nvmCtr[page]
+	packed := cl.Pack()
+	f(&packed)
+	v.m.nvmCtr[page] = ctr.Unpack(packed)
+}
+
+// persistData lands one line in NVM through the injector's write
+// filter (torn writes, stuck cells, shadow update).
+func (m *Machine) persistData(base uint64, content line) {
+	m.nvmData[base] = m.inj.WriteData(base, m.nvmData[base], content)
+}
+
+// persistCtr lands one counter line in NVM, keeping the injector's
+// packed-domain shadow in sync.
+func (m *Machine) persistCtr(page uint64, cl ctr.Line) {
+	m.inj.WriteCtr(page, cl.Pack())
+	m.nvmCtr[page] = cl
+}
+
+// readData reads one NVM line through the ECC model: a correctable
+// corruption returns the intended content, anything else returns the
+// raw (possibly corrupt) media content. Classification tallies live in
+// the injector's stats.
+func (m *Machine) readData(base uint64) line {
+	if m.inj == nil {
+		return m.nvmData[base]
+	}
+	m.inj.Sync(injMem{m})
+	got, _ := m.inj.ReadData(base, m.nvmData[base])
+	return got
+}
+
+// readCtr reads one persisted counter line through the ECC model.
+func (m *Machine) readCtr(page uint64, cl ctr.Line) ctr.Line {
+	if m.inj == nil {
+		return cl
+	}
+	m.inj.Sync(injMem{m})
+	cl = m.nvmCtr[page] // re-read: Sync may have corrupted it
+	got, out := m.inj.ReadCtr(page, cl.Pack())
+	if out == fault.Corrected {
+		return ctr.Unpack(got)
+	}
+	return cl
+}

@@ -16,6 +16,7 @@ import (
 	"supermem/internal/aes"
 	"supermem/internal/config"
 	"supermem/internal/ctr"
+	"supermem/internal/fault"
 	"supermem/internal/obs"
 )
 
@@ -113,6 +114,10 @@ type Machine struct {
 	// machine has no cycle clock, so its trace timeline is the persist
 	// index.
 	rec *obs.Recorder
+
+	// inj, when non-nil, corrupts persisted lines per its plan and
+	// classifies every NVM read under its ECC model (see fault.go).
+	inj *fault.Injector
 }
 
 // rsrState is the 20-byte RSR: page number, the page's old major
@@ -186,6 +191,12 @@ func (m *Machine) stepPersist() bool {
 	if m.crashed {
 		return false
 	}
+	if m.inj != nil {
+		// Fire state-corrupting faults due from completed steps before
+		// this persist proceeds (and before any crash at this point —
+		// the fault strikes first, then the power goes).
+		m.inj.Sync(injMem{m})
+	}
 	if m.crashAt >= 0 && m.persists == m.crashAt {
 		m.crashed = true
 		m.rec.Instant(obs.TrackMachine, "crash", uint64(m.persists))
@@ -193,6 +204,10 @@ func (m *Machine) stepPersist() bool {
 	}
 	m.rec.Instant(obs.TrackMachine, "persist", uint64(m.persists))
 	m.persists++
+	// The injector's clock is monotone across Recover (unlike
+	// m.persists), so one schedule spans run + recovery + RSR. Advancing
+	// before the write lands lets a torn-write fault intercept it.
+	m.inj.Advance()
 	return true
 }
 
@@ -244,9 +259,11 @@ func (m *Machine) loadLine(base uint64) line {
 // decryptNVM reads a line from NVM and decrypts it with the *current*
 // counter (which after a crash is whatever was persisted). A wrong
 // counter silently produces garbage — the failure mode this whole paper
-// is about.
+// is about. The read goes through the ECC model first: correctable
+// media corruption is repaired before decryption, detected corruption
+// is tallied and decrypts to garbage like the real machine-check path.
 func (m *Machine) decryptNVM(base uint64) line {
-	raw := m.nvmData[base]
+	raw := m.readData(base)
 	if !m.mode.Encrypted() {
 		return raw
 	}
@@ -264,6 +281,7 @@ func (m *Machine) currentCounter(page uint64) ctr.Line {
 		return l
 	}
 	if l, ok := m.nvmCtr[page]; ok {
+		l = m.readCtr(page, l)
 		m.ctrCache.Set(page, l)
 		return l
 	}
@@ -286,7 +304,7 @@ func (m *Machine) CLWB(addr uint64) {
 		if !m.stepPersist() {
 			return
 		}
-		m.nvmData[base] = plain
+		m.persistData(base, plain)
 		delete(m.cpuCache, base)
 		return
 	}
@@ -322,8 +340,8 @@ func (m *Machine) CLWB(addr uint64) {
 		if !m.stepPersist() {
 			return
 		}
-		m.nvmData[base] = cipherText
-		m.nvmCtr[page] = cl
+		m.persistData(base, cipherText)
+		m.persistCtr(page, cl)
 		m.ctrCache.Set(page, cl)
 	case WTNoRegister:
 		// Figure 6: counter first, then data — two separate steps with
@@ -331,19 +349,19 @@ func (m *Machine) CLWB(addr uint64) {
 		if !m.stepPersist() {
 			return
 		}
-		m.nvmCtr[page] = cl
+		m.persistCtr(page, cl)
 		m.ctrCache.Set(page, cl)
 		if !m.stepPersist() {
 			return
 		}
-		m.nvmData[base] = cipherText
+		m.persistData(base, cipherText)
 	case WBBattery, WBNoBattery:
 		// Data goes to NVM; the counter stays dirty in the volatile
 		// counter cache.
 		if !m.stepPersist() {
 			return
 		}
-		m.nvmData[base] = cipherText
+		m.persistData(base, cipherText)
 		m.ctrCache.Set(page, cl)
 		m.ctrDirty[page] = true
 	default:
@@ -376,7 +394,7 @@ func (m *Machine) reencryptPage(page uint64) bool {
 		if !m.stepPersist() {
 			return false
 		}
-		m.nvmData[la] = ctr.XorLine(plain, pad)
+		m.persistData(la, ctr.XorLine(plain, pad))
 		m.rsr.done[i] = true
 		// A cached dirty copy has now been persisted as part of the
 		// sweep; drop it so later reads come from NVM consistently.
@@ -385,7 +403,7 @@ func (m *Machine) reencryptPage(page uint64) bool {
 	if !m.stepPersist() {
 		return false
 	}
-	m.nvmCtr[page] = newLine
+	m.persistCtr(page, newLine)
 	m.ctrCache.Set(page, newLine)
 	delete(m.ctrDirty, page)
 	m.rsr = nil
@@ -403,15 +421,21 @@ func (m *Machine) FlushCounters() {
 	}
 	for page := range m.ctrDirty {
 		if l, ok := m.ctrCache.Peek(page); ok {
-			m.nvmCtr[page] = l
+			m.persistCtr(page, l)
 		}
 	}
 	m.ctrDirty = make(map[uint64]bool)
 }
 
 // Crash powers the machine off immediately (equivalent to reaching the
-// injected crash point).
-func (m *Machine) Crash() { m.crashed = true }
+// injected crash point). Due media faults strike the persisted state
+// first — power loss does not outrun physics.
+func (m *Machine) Crash() {
+	if m.inj != nil && !m.crashed {
+		m.inj.Sync(injMem{m})
+	}
+	m.crashed = true
+}
 
 // Recover boots the successor machine from the persistent domain: NVM
 // plus whatever ADR and the battery (if any) preserved. Volatile CPU
@@ -439,6 +463,7 @@ func (m *Machine) Recover(opts ...Option) *Machine {
 		crashAt:  -1,
 	}
 	n.rec = m.rec
+	n.inj = m.inj
 	for _, o := range opts {
 		o(n)
 	}
@@ -456,7 +481,7 @@ func (m *Machine) Recover(opts ...Option) *Machine {
 		// The battery flushes every dirty counter line on power loss.
 		for page := range m.ctrDirty {
 			if l, ok := m.ctrCache.Peek(page); ok {
-				n.nvmCtr[page] = l
+				n.persistCtr(page, l)
 			}
 		}
 	}
@@ -491,18 +516,18 @@ func (m *Machine) finishReencryption() {
 			continue
 		}
 		oldPad := ctr.OTP(m.cipher, la, r.oldLine.Major, r.oldLine.Minors[i])
-		plain := ctr.XorLine(m.nvmData[la], oldPad)
+		plain := ctr.XorLine(m.readData(la), oldPad)
 		newPad := ctr.OTP(m.cipher, la, newLine.Major, 0)
 		if !m.stepPersist() {
 			return
 		}
-		m.nvmData[la] = ctr.XorLine(plain, newPad)
+		m.persistData(la, ctr.XorLine(plain, newPad))
 		r.done[i] = true
 	}
 	if !m.stepPersist() {
 		return
 	}
-	m.nvmCtr[r.page] = newLine
+	m.persistCtr(r.page, newLine)
 	m.rsr = nil
 }
 

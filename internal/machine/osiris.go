@@ -47,14 +47,14 @@ func (m *Machine) osirisCLWB(base uint64, plain line) {
 		return
 	}
 	// As in CLWB, the counter cache advances with the enqueue itself.
-	m.nvmData[base] = ctr.XorLine(plain, pad)
+	m.persistData(base, ctr.XorLine(plain, pad))
 	m.nvmTag[base] = lineTag(plain)
 	m.ctrCache.Set(page, cl)
 	if uint32(cl.Minors[li])%osirisStopLoss == 0 {
 		if !m.stepPersist() {
 			return
 		}
-		m.nvmCtr[page] = cl
+		m.persistCtr(page, cl)
 		delete(m.ctrDirty, page)
 	} else {
 		m.ctrDirty[page] = true
@@ -76,7 +76,7 @@ func (m *Machine) OsirisProbes() int { return m.osirisProbes }
 // so it consumes no persistence micro-steps.
 func (n *Machine) recoverOsirisCounters() {
 	for _, base := range n.NVMLines() {
-		cipherText := n.nvmData[base]
+		cipherText := n.readData(base)
 		page := base / config.PageSize
 		li := ctr.LineIndex(base)
 		cl, ok := n.nvmCtr[page]
@@ -105,7 +105,7 @@ func (n *Machine) recoverOsirisCounters() {
 					upd := n.nvmCtr[page]
 					upd.Major = cand.Major
 					upd.Minors[li] = cand.Minors[li]
-					n.nvmCtr[page] = upd
+					n.persistCtr(page, upd)
 				}
 				recovered = true
 				break

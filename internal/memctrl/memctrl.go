@@ -87,14 +87,27 @@ type Controller struct {
 	writeDone []uint64
 	rec       *obs.Recorder
 	nextID    uint64 // queue-entry span ids
+
+	// Read-retry and bank-quarantine policy (Section "fault injection"
+	// of EXPERIMENTS.md). retryLimit is total read attempts per line;
+	// backoff is the base gap before the first retry, doubling per
+	// attempt. failures[b] counts failed accesses of bank b; when it
+	// reaches quarThresh (>0) the bank is quarantined and subsequent
+	// traffic is remapped to the partner bank (b + N/2) mod N.
+	retryLimit  int
+	backoff     uint64
+	quarThresh  int
+	failures    []int
+	quarantined []bool
+	quarCount   int
 }
 
 // New builds a controller over the device. Capacity must be at least 2:
 // a flush appends a data line and its counter line atomically, so a
 // single-slot queue could never accept one.
-func New(eng *sim.Engine, dev *nvm.Device, capacity int, cwc bool, m *stats.Metrics) *Controller {
+func New(eng *sim.Engine, dev *nvm.Device, capacity int, cwc bool, m *stats.Metrics) (*Controller, error) {
 	if capacity < 2 {
-		panic(fmt.Sprintf("memctrl: write queue capacity %d < 2 cannot hold an atomic data+counter pair", capacity))
+		return nil, fmt.Errorf("memctrl: write queue capacity %d < 2 cannot hold an atomic data+counter pair", capacity)
 	}
 	hi := capacity * 3 / 4
 	if hi < 2 {
@@ -113,7 +126,24 @@ func New(eng *sim.Engine, dev *nvm.Device, capacity int, cwc bool, m *stats.Metr
 		pending:   make([]int, dev.Banks()),
 		inflight:  make([]bool, dev.Banks()),
 		writeDone: make([]uint64, dev.Banks()),
+
+		retryLimit:  1,
+		failures:    make([]int, dev.Banks()),
+		quarantined: make([]bool, dev.Banks()),
+	}, nil
+}
+
+// SetResilience configures the read-retry and quarantine policy: limit
+// total read attempts per line (>= 1), backoff base cycles between
+// attempts (doubling per retry), and the failed-access count at which a
+// bank is quarantined (0 disables quarantine).
+func (c *Controller) SetResilience(limit int, backoff uint64, threshold int) {
+	if limit < 1 {
+		limit = 1
 	}
+	c.retryLimit = limit
+	c.backoff = backoff
+	c.quarThresh = threshold
 }
 
 // SetRecorder attaches an observability recorder (nil disables).
@@ -134,16 +164,19 @@ func (c *Controller) PendingWaiters() int { return len(c.waiters) }
 // accepted — that is the durability point under ADR. Entries must hold
 // one or two lines (a bare write, or a data+counter pair from the
 // register of Figure 7).
-func (c *Controller) Enqueue(now uint64, entries []Entry, accept func(now uint64)) {
+// It returns an error — without enqueueing anything — for group sizes
+// the register cannot produce (0 or more than 2 entries).
+func (c *Controller) Enqueue(now uint64, entries []Entry, accept func(now uint64)) error {
 	if len(entries) == 0 || len(entries) > 2 {
-		panic(fmt.Sprintf("memctrl: enqueue of %d entries; the register holds at most a data+counter pair", len(entries)))
+		return fmt.Errorf("memctrl: enqueue of %d entries; the register holds at most a data+counter pair", len(entries))
 	}
 	if len(c.waiters) == 0 && c.fits(entries) {
 		c.admit(now, entries)
 		accept(now)
-		return
+		return nil
 	}
 	c.waiters = append(c.waiters, waiter{entries: entries, accept: accept})
+	return nil
 }
 
 // fits reports whether entries can be admitted now, accounting for the
@@ -199,7 +232,7 @@ func (c *Controller) admit(now uint64, entries []Entry) {
 				}
 			}
 		}
-		q := &queued{Entry: e, bank: c.dev.Layout().BankOf(e.Addr)}
+		q := &queued{Entry: e, bank: c.effBank(now, c.dev.Layout().BankOf(e.Addr))}
 		c.queue = append(c.queue, q)
 		if !(c.cwc && e.Counter) {
 			c.pending[q.bank]++
@@ -310,7 +343,7 @@ func (c *Controller) issue(now uint64, q *queued) {
 	if !(c.cwc && q.Counter) {
 		c.pending[q.bank]--
 	}
-	done := c.dev.WriteLine(now, q.Addr)
+	done := c.dev.WriteLineAt(now, q.bank)
 	c.inflight[q.bank] = true
 	c.writeDone[q.bank] = done
 	if q.Counter {
@@ -374,12 +407,76 @@ func (c *Controller) retire(now uint64, q *queued) {
 // (un-issued) writes: it reserves the bank immediately and pushes lazy
 // write issue behind it. The returned time is when the line's data is
 // available.
+//
+// A transiently failing access is retried in place with exponential
+// backoff, up to the configured attempt limit; a read that exhausts the
+// budget is counted as uncorrected and returns the last attempt's
+// completion time. Bank failures feed the quarantine counter: once a
+// bank crosses the threshold, this and all later accesses remap to its
+// partner bank.
 func (c *Controller) ReadLine(now, addr uint64) (done uint64) {
-	done = c.dev.ReadLine(now, addr)
 	c.m.NVMReads++
-	bank := c.dev.Layout().BankOf(addr)
+	bank := c.effBank(now, c.dev.Layout().BankOf(addr))
+	at := now
+	retries := uint64(0)
+	for attempt := 1; ; attempt++ {
+		var ok bool
+		done, ok = c.dev.ReadLineAt(at, bank)
+		if ok {
+			break
+		}
+		c.noteFailure(done, bank)
+		if attempt >= c.retryLimit {
+			c.m.UncorrectedReads++
+			c.rec.InstantArg(obs.TrackFault, "uncorrected read", done, "addr", addr)
+			break
+		}
+		// Exponential backoff: the k-th retry starts backoff<<(k-1)
+		// cycles after the failed attempt completes. A quarantine
+		// triggered by this failure redirects the retry itself.
+		retries++
+		at = done + c.backoff<<uint(attempt-1)
+		bank = c.effBank(at, bank)
+	}
+	if retries > 0 {
+		c.m.ReadRetries += retries
+		c.rec.Observe(obs.HistReadRetry, retries)
+	}
 	c.scheduleRetry(bank) // writes blocked behind this read resume at done
 	return done
+}
+
+// noteFailure records one failed access of a bank and quarantines it at
+// the threshold.
+func (c *Controller) noteFailure(now uint64, bank int) {
+	c.failures[bank]++
+	if c.quarThresh > 0 && !c.quarantined[bank] && c.failures[bank] >= c.quarThresh {
+		c.quarantined[bank] = true
+		c.quarCount++
+		c.m.QuarantinedBanks++
+		if c.rec != nil {
+			c.rec.InstantArg(obs.TrackFault, "quarantine bank", now, "bank", uint64(bank))
+		}
+	}
+}
+
+// effBank maps a home bank to the bank that actually services it:
+// quarantined banks redirect to the partner (b + N/2) mod N — the XBank
+// relation, so a data bank fails over onto its counter partner. If the
+// partner is quarantined too (applying the relation twice returns the
+// original bank), the home bank is kept: with both halves of a pair out
+// there is nowhere coherent left to go.
+func (c *Controller) effBank(now uint64, b int) int {
+	if c.quarCount == 0 || !c.quarantined[b] {
+		return b
+	}
+	p := (b + c.dev.Banks()/2) % c.dev.Banks()
+	if c.quarantined[p] {
+		return b
+	}
+	c.m.BankRemaps++
+	c.rec.Count(obs.SeriesBankRemaps, now, 1)
+	return p
 }
 
 // Drained reports whether the queue and waiters are empty (used by runs

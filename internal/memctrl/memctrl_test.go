@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"supermem/internal/config"
+	"supermem/internal/fault"
 	"supermem/internal/nvm"
 	"supermem/internal/sim"
 	"supermem/internal/stats"
@@ -24,7 +25,11 @@ func newRig(t testing.TB, capacity int, cwc bool) *rig {
 	eng := &sim.Engine{}
 	dev := nvm.NewDevice(cfg)
 	m := &stats.Metrics{}
-	return &rig{eng: eng, dev: dev, m: m, c: New(eng, dev, capacity, cwc, m), l: dev.Layout()}
+	c, err := New(eng, dev, capacity, cwc, m)
+	if err != nil {
+		t.Fatalf("New(capacity=%d): %v", capacity, err)
+	}
+	return &rig{eng: eng, dev: dev, m: m, c: c, l: dev.Layout()}
 }
 
 // enq enqueues; the returned pointers observe the acceptance time and
@@ -293,27 +298,32 @@ func TestWatermarkStartsAndStopsDrain(t *testing.T) {
 	}
 }
 
-func TestEnqueueArityPanics(t *testing.T) {
+// Regression test: misuse reachable from the public API returns errors
+// instead of panicking (invariant panics deeper in the controller stay).
+func TestEnqueueArityReturnsError(t *testing.T) {
 	r := newRig(t, 4, false)
 	for _, entries := range [][]Entry{{}, {r.data(0, 0), r.data(0, 1), r.data(0, 2)}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Enqueue accepted %d entries", len(entries))
-				}
-			}()
-			r.c.Enqueue(0, entries, func(uint64) {})
-		}()
+		called := false
+		err := r.c.Enqueue(0, entries, func(uint64) { called = true })
+		if err == nil {
+			t.Errorf("Enqueue accepted %d entries", len(entries))
+		}
+		if called {
+			t.Errorf("accept callback fired for a rejected %d-entry group", len(entries))
+		}
+		if r.c.Len() != 0 || r.c.PendingWaiters() != 0 {
+			t.Errorf("rejected group left state behind: len=%d waiters=%d", r.c.Len(), r.c.PendingWaiters())
+		}
 	}
 }
 
-func TestTinyCapacityPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("New accepted capacity 1")
-		}
-	}()
-	newRig(t, 1, false)
+func TestTinyCapacityReturnsError(t *testing.T) {
+	cfg := config.Default()
+	cfg.MemBytes = 1 << 20
+	dev := nvm.NewDevice(cfg)
+	if c, err := New(&sim.Engine{}, dev, 1, false, &stats.Metrics{}); err == nil || c != nil {
+		t.Fatalf("New(capacity=1) = (%v, %v), want nil controller and an error", c, err)
+	}
 }
 
 // Regression test for the retryAt 0-sentinel bug: cycle 0 is a
@@ -423,5 +433,121 @@ func TestLongerQueueCoalescesMore(t *testing.T) {
 	large := coalesced(64)
 	if large <= small {
 		t.Fatalf("coalescing did not grow with queue size: cap4=%d cap64=%d", small, large)
+	}
+}
+
+// faultRig builds a rig with a bank-fault schedule attached and a
+// retry/quarantine policy configured.
+func faultRig(t *testing.T, injections []fault.Injection, limit int, backoff uint64, threshold int) *rig {
+	t.Helper()
+	r := newRig(t, 16, false)
+	r.dev.SetFaults(fault.NewBankFaults(fault.Plan{Injections: injections}, r.dev.Banks()))
+	r.c.SetResilience(limit, backoff, threshold)
+	return r
+}
+
+func TestReadRetryWithExponentialBackoff(t *testing.T) {
+	// Bank 0 fails its first two accesses; the third succeeds.
+	r := faultRig(t, []fault.Injection{
+		{Kind: fault.BankFault, Step: 0, Target: 0, Arg: 2},
+	}, 4, 16, 0)
+	addr := r.l.BankBase(0)
+	// Attempt 1: 0..126 fails. Attempt 2 at 126+16=142: 142..268 fails.
+	// Attempt 3 at 268+32=300: 300..426 succeeds.
+	read := config.Default().ReadCycles
+	done := r.c.ReadLine(0, addr)
+	if exp := read + 16 + read + 32 + read; done != exp {
+		t.Fatalf("ReadLine done = %d, want %d (two backoffs of 16 and 32)", done, exp)
+	}
+	if r.m.ReadRetries != 2 || r.m.UncorrectedReads != 0 {
+		t.Fatalf("retries=%d uncorrected=%d, want 2/0", r.m.ReadRetries, r.m.UncorrectedReads)
+	}
+}
+
+func TestReadRetryBudgetExhaustion(t *testing.T) {
+	r := faultRig(t, []fault.Injection{
+		{Kind: fault.BankFault, Step: 0, Target: 0, Arg: 100},
+	}, 2, 8, 0)
+	r.c.ReadLine(0, r.l.BankBase(0))
+	if r.m.UncorrectedReads != 1 {
+		t.Fatalf("UncorrectedReads = %d, want 1", r.m.UncorrectedReads)
+	}
+	if r.m.ReadRetries != 1 {
+		t.Fatalf("ReadRetries = %d, want 1 (limit 2 = one retry)", r.m.ReadRetries)
+	}
+}
+
+func TestBankQuarantineRemapsReadsAndWrites(t *testing.T) {
+	// Bank 0 fails persistently; threshold 2 quarantines it during the
+	// first read's retry chain, so the final attempt and all later
+	// traffic land on the partner bank (0 + 8/2) mod 8 = 4.
+	r := faultRig(t, []fault.Injection{
+		{Kind: fault.BankFault, Step: 0, Target: 0, Arg: 1 << 20},
+	}, 4, 8, 2)
+	addr := r.l.BankBase(0)
+	r.c.ReadLine(0, addr)
+	if r.m.QuarantinedBanks != 1 {
+		t.Fatalf("QuarantinedBanks = %d, want 1", r.m.QuarantinedBanks)
+	}
+	if r.m.UncorrectedReads != 0 {
+		t.Fatalf("UncorrectedReads = %d: the remapped retry should have succeeded", r.m.UncorrectedReads)
+	}
+	if r.m.BankRemaps == 0 {
+		t.Fatal("no remap counted for the redirected retry")
+	}
+	// A later read of the same home bank is remapped up front and
+	// succeeds on the first attempt.
+	before := r.m.ReadRetries
+	r.c.ReadLine(10_000, addr)
+	if r.m.ReadRetries != before {
+		t.Fatalf("remapped read still retried (%d -> %d)", before, r.m.ReadRetries)
+	}
+	// Writes to the quarantined bank are redirected at admit time.
+	wBefore := r.dev.Stats()[4].Writes
+	r.enq(20_000, r.data(0, 3))
+	r.c.Flush(r.eng.Now())
+	r.eng.Run()
+	if got := r.dev.Stats()[4].Writes; got != wBefore+1 {
+		t.Fatalf("partner bank writes = %d, want %d (write not remapped)", got, wBefore+1)
+	}
+	if got := r.dev.Stats()[0].Writes; got != 0 {
+		t.Fatalf("quarantined bank still served %d writes", got)
+	}
+}
+
+func TestQuarantinedPartnerKeepsHomeBank(t *testing.T) {
+	// Both halves of the 0/4 pair fail persistently: once both are
+	// quarantined there is nowhere coherent to remap, so the home bank
+	// keeps its traffic (and reads surface as uncorrected).
+	r := faultRig(t, []fault.Injection{
+		{Kind: fault.BankFault, Step: 0, Target: 0, Arg: 1 << 20},
+		{Kind: fault.BankFault, Step: 0, Target: 4, Arg: 1 << 20},
+	}, 2, 8, 1)
+	r.c.ReadLine(0, r.l.BankBase(0))
+	r.c.ReadLine(1_000, r.l.BankBase(4))
+	if r.m.QuarantinedBanks != 2 {
+		t.Fatalf("QuarantinedBanks = %d, want 2", r.m.QuarantinedBanks)
+	}
+	remaps := r.m.BankRemaps
+	r.c.ReadLine(2_000, r.l.BankBase(0))
+	if r.m.BankRemaps != remaps {
+		t.Fatalf("remapped onto a quarantined partner (remaps %d -> %d)", remaps, r.m.BankRemaps)
+	}
+	if r.m.UncorrectedReads == 0 {
+		t.Fatal("fully-failed pair should produce uncorrected reads")
+	}
+}
+
+func TestLatencySpikeStretchesRead(t *testing.T) {
+	r := faultRig(t, []fault.Injection{
+		{Kind: fault.BankLatency, Step: 0, Target: 0, Arg: 1 | 500<<32},
+	}, 1, 0, 0)
+	read := config.Default().ReadCycles
+	if done := r.c.ReadLine(0, r.l.BankBase(0)); done != read+500 {
+		t.Fatalf("spiked read done = %d, want %d", done, read+500)
+	}
+	// The spike window covered one access only.
+	if done := r.c.ReadLine(10_000, r.l.BankBase(0)); done != 10_000+read {
+		t.Fatalf("post-spike read done = %d, want %d", done, 10_000+read)
 	}
 }

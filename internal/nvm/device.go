@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"supermem/internal/config"
+	"supermem/internal/fault"
 	"supermem/internal/obs"
 )
 
@@ -27,6 +28,7 @@ type Device struct {
 	read   uint64 // read service cycles per line
 	write  uint64 // write service cycles per line
 	banks  []bank
+	faults *fault.BankFaults
 	rec    *obs.Recorder
 }
 
@@ -44,6 +46,11 @@ func NewDevice(cfg config.Config) *Device {
 // bank reservation is then recorded as a busy interval and trace span.
 func (d *Device) SetRecorder(r *obs.Recorder) { d.rec = r }
 
+// SetFaults attaches a bank-fault schedule (nil disables). Each access
+// then consults the schedule: a spiked access takes extra service
+// cycles, a failing read returns ok=false from ReadLineAt.
+func (d *Device) SetFaults(f *fault.BankFaults) { d.faults = f }
+
 // Layout returns the device's address map.
 func (d *Device) Layout() Layout { return d.layout }
 
@@ -57,22 +64,41 @@ func (d *Device) BankFreeAt(b int) uint64 { return d.banks[b].freeAt }
 // BankFree reports whether bank b is idle at cycle now.
 func (d *Device) BankFree(b int, now uint64) bool { return d.banks[b].freeAt <= now }
 
-// ReadLine reserves the target bank for a line read starting no earlier
-// than now, and returns the completion time.
+// ReadLine reserves the line's home bank for a read and returns the
+// completion time, ignoring transient fault outcomes (convenience over
+// ReadLineAt for callers without a retry policy).
 func (d *Device) ReadLine(now, addr uint64) (done uint64) {
-	b := d.layout.BankOf(addr)
-	done = d.reserve(b, now, d.read, "bank read")
-	d.banks[b].stats.Reads++
+	done, _ = d.ReadLineAt(now, d.layout.BankOf(addr))
 	return done
 }
 
-// WriteLine reserves the target bank for a line write starting no earlier
-// than now, and returns the completion time. The memory controller calls
-// this only when the bank is free (lazy drain), but the device accepts
-// back-to-back reservations regardless.
+// ReadLineAt reserves bank b for a line read starting no earlier than
+// now. ok is false when the attached fault schedule fails this access —
+// the bank still burns its (possibly spiked) service time, as a real
+// media read that returns garbage does.
+func (d *Device) ReadLineAt(now uint64, b int) (done uint64, ok bool) {
+	fail, extra := d.faults.OnAccess(b)
+	done = d.reserve(b, now, d.read+extra, "bank read")
+	d.banks[b].stats.Reads++
+	return done, !fail
+}
+
+// WriteLine reserves the line's home bank for a write and returns the
+// completion time.
 func (d *Device) WriteLine(now, addr uint64) (done uint64) {
-	b := d.layout.BankOf(addr)
-	done = d.reserve(b, now, d.write, "bank write")
+	return d.WriteLineAt(now, d.layout.BankOf(addr))
+}
+
+// WriteLineAt reserves bank b for a line write starting no earlier than
+// now, and returns the completion time. The memory controller calls
+// this only when the bank is free (lazy drain), but the device accepts
+// back-to-back reservations regardless. Fault windows slow writes down
+// (latency spikes) but do not fail them: the write queue's entry is
+// retained until retirement, so a failed program operation is re-driven
+// by the bank internally and surfaces only as added latency here.
+func (d *Device) WriteLineAt(now uint64, b int) (done uint64) {
+	_, extra := d.faults.OnAccess(b)
+	done = d.reserve(b, now, d.write+extra, "bank write")
 	d.banks[b].stats.Writes++
 	return done
 }

@@ -22,6 +22,9 @@ const (
 	HistReadStall
 	// HistWQStall is per-enqueue write-queue admission stall cycles.
 	HistWQStall
+	// HistReadRetry is per-read retry attempts consumed recovering from
+	// transient bank faults (observed only for reads that needed >0).
+	HistReadRetry
 
 	numHists
 )
@@ -34,6 +37,8 @@ func (h HistID) String() string {
 		return "read_stall"
 	case HistWQStall:
 		return "wq_stall"
+	case HistReadRetry:
+		return "read_retry"
 	}
 	return fmt.Sprintf("hist(%d)", int(h))
 }
@@ -54,6 +59,9 @@ const (
 	SeriesCtrEnqueues
 	// SeriesEngineEvents counts simulator events fired per window.
 	SeriesEngineEvents
+	// SeriesBankRemaps counts accesses remapped away from quarantined
+	// banks per window.
+	SeriesBankRemaps
 
 	numSeries
 )
@@ -246,6 +254,7 @@ type Snapshot struct {
 	TxLatency HistSnapshot `json:"tx_latency"`
 	ReadStall HistSnapshot `json:"read_stall"`
 	WQStall   HistSnapshot `json:"wq_stall"`
+	ReadRetry HistSnapshot `json:"read_retry"`
 }
 
 // Snapshot summarises the recorder's histograms.
@@ -257,6 +266,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		TxLatency: r.hists[HistTxLatency].Snapshot(),
 		ReadStall: r.hists[HistReadStall].Snapshot(),
 		WQStall:   r.hists[HistWQStall].Snapshot(),
+		ReadRetry: r.hists[HistReadRetry].Snapshot(),
 	}
 }
 
@@ -272,6 +282,7 @@ func (s Snapshot) String() string {
 	row("tx_latency", s.TxLatency)
 	row("read_stall", s.ReadStall)
 	row("wq_stall", s.WQStall)
+	row("read_retry", s.ReadRetry)
 	return b.String()
 }
 
@@ -295,6 +306,7 @@ func (r *Recorder) counterTracks() []counterTrack {
 		{name: "ctr hit rate", values: rate(hits, miss)},
 		{name: "coalesce rate", values: rate(coal, cenq)},
 		{name: "engine events/window", values: r.series[SeriesEngineEvents].values(r.window, end)},
+		{name: "bank remaps/window", values: r.series[SeriesBankRemaps].values(r.window, end)},
 	}
 	for b := range r.banks {
 		tracks = append(tracks, counterTrack{

@@ -21,6 +21,8 @@ const (
 	TrackRSR Track = 3
 	// TrackMachine carries the functional machine's persist events.
 	TrackMachine Track = 4
+	// TrackFault carries fault-injection and detection events.
+	TrackFault Track = 5
 	// TrackBank0 is the first NVM bank's track; bank b renders on
 	// TrackBank0 + b.
 	TrackBank0 Track = 16
@@ -37,6 +39,8 @@ func trackName(t Track) string {
 		return "rsr"
 	case TrackMachine:
 		return "machine"
+	case TrackFault:
+		return "fault"
 	}
 	if t >= TrackBank0 {
 		return fmt.Sprintf("bank %d", int(t-TrackBank0))

@@ -47,6 +47,16 @@ type Metrics struct {
 	// re-encryption; ReencryptLines counts the lines rewritten for them.
 	Reencryptions  uint64
 	ReencryptLines uint64
+
+	// ReadRetries counts extra read attempts spent recovering from
+	// transient bank faults; UncorrectedReads counts reads that
+	// exhausted the retry budget.
+	ReadRetries      uint64
+	UncorrectedReads uint64
+	// BankRemaps counts accesses redirected away from quarantined
+	// banks; QuarantinedBanks counts banks taken out of service.
+	BankRemaps       uint64
+	QuarantinedBanks uint64
 }
 
 // TotalNVMWrites is the headline write count of Figure 15.
@@ -85,6 +95,10 @@ func (m *Metrics) Add(other Metrics) {
 	m.CtrEvictions += other.CtrEvictions
 	m.Reencryptions += other.Reencryptions
 	m.ReencryptLines += other.ReencryptLines
+	m.ReadRetries += other.ReadRetries
+	m.UncorrectedReads += other.UncorrectedReads
+	m.BankRemaps += other.BankRemaps
+	m.QuarantinedBanks += other.QuarantinedBanks
 }
 
 // Table is a printable result table: one row per configuration point and

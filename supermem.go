@@ -36,6 +36,7 @@ import (
 	"supermem/internal/bench"
 	"supermem/internal/config"
 	"supermem/internal/crash"
+	"supermem/internal/fault"
 	"supermem/internal/machine"
 	"supermem/internal/nvm"
 	"supermem/internal/obs"
@@ -418,3 +419,69 @@ func CrashReferenceRun(mode CrashMode, workloadName string, steps int, rec *ObsR
 func CrashExpectedConsistent(mode CrashMode, workloadName string) bool {
 	return crash.ExpectedConsistent(mode, workloadName)
 }
+
+// Deterministic NVM fault injection (see internal/fault): seeded plans
+// corrupt persisted lines (bit flips, stuck-at cells, torn 64 B
+// writes), counter lines, and the timing model's banks; a per-line ECC
+// metadata model classifies every corrupted read as corrected,
+// detected, or silent.
+type (
+	// FaultPlan is a deterministic injection schedule.
+	FaultPlan = fault.Plan
+	// FaultInjection is one scheduled fault within a plan.
+	FaultInjection = fault.Injection
+	// FaultPlanConfig sizes a generated plan (seed included).
+	FaultPlanConfig = fault.PlanConfig
+	// ECCConfig models per-line error-correction strength.
+	ECCConfig = fault.ECCConfig
+	// FaultStats counts injector fires and ECC read classifications.
+	FaultStats = fault.Stats
+	// FaultResult is one fault x crash experiment's differential report.
+	FaultResult = crash.FaultResult
+	// FaultOutcome classifies a fault x crash experiment (Clean /
+	// Recovered / Detected / Silent / BaselineCorrupt).
+	FaultOutcome = crash.FaultOutcome
+	// FaultSweepOpts sizes the faultsweep experiment.
+	FaultSweepOpts = bench.FaultSweepOpts
+	// FaultSweepResult is the faultsweep experiment's report.
+	FaultSweepResult = bench.FaultSweepResult
+)
+
+// ECC profiles, strongest detection last.
+var (
+	// ECCOff disables the model: corruption flows through silently.
+	ECCOff = fault.ECCOff
+	// ECCSECDED is single-error-correct / double-error-detect. Note a
+	// torn write exceeds its detection radius and goes Silent.
+	ECCSECDED = fault.ECCSECDED
+	// ECCStrong corrects single bits and detects any wider corruption
+	// (a line-MAC profile); no fault may go silent under it.
+	ECCStrong = fault.ECCStrong
+)
+
+// GenerateFaultPlan derives a plan from the config: the same config
+// (seed included) always yields the identical schedule.
+func GenerateFaultPlan(c FaultPlanConfig) (FaultPlan, error) { return fault.Generate(c) }
+
+// EncodeFaultPlan serializes a plan in the stable binary codec
+// (fuzz-tested; see internal/fault).
+func EncodeFaultPlan(p FaultPlan) []byte { return fault.EncodePlan(p) }
+
+// DecodeFaultPlan parses a plan encoded by EncodeFaultPlan.
+func DecodeFaultPlan(data []byte) (FaultPlan, error) { return fault.DecodePlan(data) }
+
+// RunFault executes a workload on the byte-accurate crash machine with
+// the plan's media faults injected under the given ECC profile, a
+// crash armed at crashAt (negative: none) and a nested recovery crash
+// at recoveryCrashAt, then classifies the outcome differentially
+// against the fault-free baseline at the same crash point.
+func RunFault(mode CrashMode, workloadName string, steps int, plan FaultPlan, ecc ECCConfig, crashAt, recoveryCrashAt int) (FaultResult, error) {
+	return crash.RunFault(crash.Params{Mode: mode, Workload: workloadName, Steps: steps}, plan, ecc, crashAt, recoveryCrashAt)
+}
+
+// FaultSweep runs the faultsweep experiment: generated fault plans
+// against every crash-machine mode under each ECC profile and through
+// crash points, plus a timing cell where a dead bank is retried,
+// quarantined, and remapped. Results are byte-identical at any
+// Parallel setting.
+func FaultSweep(o FaultSweepOpts) (*FaultSweepResult, error) { return bench.FaultSweep(o) }
