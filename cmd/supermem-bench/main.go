@@ -10,6 +10,7 @@
 //	supermem-bench -exp fig17                 # counter cache sweep
 //	supermem-bench -exp table1                # recoverability sweep
 //	supermem-bench -exp ablation              # placement & coalescing ablations
+//	supermem-bench -exp osiris                # Osiris relaxed-counter-persistence extension
 //	supermem-bench -exp faultsweep            # fault x crash x ECC grid + bank quarantine
 //	supermem-bench -exp faultsweep -fault-strict -json   # CI gate + artifact
 //	supermem-bench -exp all                   # everything
@@ -67,7 +68,7 @@ type artifact struct {
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, faultsweep, all")
+		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, osiris, faultsweep, all")
 		faultStrict  = flag.Bool("fault-strict", false, "exit non-zero if the faultsweep reports silent corruption under strong ECC or a dead quarantine cell")
 		faultSeed    = flag.Int64("fault-seed", 0, "base seed for the faultsweep's generated plans (0 = default)")
 		csv          = flag.Bool("csv", false, "print tables as CSV instead of aligned text")
@@ -292,14 +293,62 @@ func main() {
 			return nil
 		})
 	}
+	if want("osiris") {
+		ran = true
+		runOsiris(cfg, opts, *jsonOut, *csv)
+	}
 	if want("faultsweep") {
 		ran = true
 		runFaultSweep(*parallel, *faultSeed, *faultStrict, *jsonOut)
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "supermem-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "faultsweep", "all"}, ", "))
+			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "osiris", "faultsweep", "all"}, ", "))
 		os.Exit(2)
+	}
+}
+
+// osirisArtifact is the machine-readable osiris-extension record. Like
+// the faultsweep artifact it carries no wall time or parallelism
+// fields, so the same config and seed produce a byte-identical
+// BENCH_osiris.json at any -parallel setting.
+type osirisArtifact struct {
+	Experiment string            `json:"experiment"`
+	Tables     []*supermem.Table `json:"tables"`
+}
+
+// runOsiris runs the Osiris extension figure: tx latency and enqueued
+// counter writes for the relaxed counter-persistence scheme against the
+// paper's bracketing schemes.
+func runOsiris(cfg supermem.Config, opts supermem.ExperimentOpts, jsonOut, csv bool) {
+	start := time.Now()
+	latency, writes, err := supermem.ExtensionOsiris(cfg, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: osiris: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range []*supermem.Table{latency, latency.Normalize("Unsec"), writes} {
+		if csv {
+			fmt.Println(t.Title)
+			fmt.Print(t.CSV())
+			fmt.Println()
+		} else {
+			fmt.Println(t)
+		}
+	}
+	fmt.Printf("[extension/osiris done in %s]\n\n", time.Since(start).Round(time.Millisecond))
+	if jsonOut {
+		a := osirisArtifact{Experiment: "osiris", Tables: []*supermem.Table{latency, writes}}
+		data, err := json.MarshalIndent(a, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: encoding BENCH_osiris.json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_osiris.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: writing BENCH_osiris.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote BENCH_osiris.json]\n\n")
 	}
 }
 

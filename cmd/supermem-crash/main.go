@@ -41,14 +41,18 @@ import (
 	"supermem"
 )
 
-var modes = map[string]supermem.CrashMode{
-	"SuperMem":      supermem.CrashSuperMem,
-	"WT-NoRegister": supermem.CrashNoRegister,
-	"WB+Battery":    supermem.CrashWBBattery,
-	"WB-NoBattery":  supermem.CrashWBNoBattery,
-	"Osiris":        supermem.CrashOsiris,
-	"Unencrypted":   supermem.CrashUnencrypted,
-}
+// modes maps -mode names to the registered machine designs; it is built
+// from the scheme registry plus the legacy "SuperMem" alias (the
+// registered name of the paper's design is "WT+Register"), so a newly
+// registered mode is selectable without touching this file.
+var modes = func() map[string]supermem.CrashMode {
+	m := make(map[string]supermem.CrashMode)
+	for _, mode := range supermem.CrashModes() {
+		m[mode.String()] = mode
+	}
+	m["SuperMem"] = supermem.CrashSuperMem
+	return m
+}()
 
 // artifact is the machine-readable record -json emits, mirroring
 // supermem-bench's BENCH_<name>.json shape.
@@ -64,7 +68,7 @@ type artifact struct {
 
 func main() {
 	var (
-		modeName  = flag.String("mode", "", "legacy single-mode sweep: SuperMem, WT-NoRegister, WB+Battery, WB-NoBattery, Osiris, Unencrypted")
+		modeName  = flag.String("mode", "", "legacy single-mode sweep: any registered mode name (e.g. SuperMem, WT-NoRegister, WB+Battery, WB-NoBattery, Osiris, Unencrypted)")
 		wl        = flag.String("workload", "", "workload (default: all): array, queue, btree, hashtable, rbtree")
 		steps     = flag.Int("steps", 8, "transactions per run")
 		stride    = flag.Int("stride", 0, "legacy sweep: test every stride-th persistence step")
@@ -193,7 +197,15 @@ func runLegacySweep(modeName string, workloads []string, steps, stride int) {
 		}
 		runModes = []string{modeName}
 	} else {
-		runModes = []string{"SuperMem", "WT-NoRegister", "WB+Battery", "WB-NoBattery", "Osiris", "Unencrypted"}
+		// Sweep every registered mode in registry order, presenting the
+		// paper's design under its legacy sweep name.
+		for _, mode := range supermem.CrashModes() {
+			name := mode.String()
+			if mode == supermem.CrashSuperMem {
+				name = "SuperMem"
+			}
+			runModes = append(runModes, name)
+		}
 	}
 	if stride < 1 {
 		stride = 1

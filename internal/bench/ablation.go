@@ -96,3 +96,43 @@ func ExtensionSCA(base config.Config, o Opts) (*stats.Table, error) {
 	}
 	return t, nil
 }
+
+// ExtensionOsiris compares the Osiris extension (relaxed counter
+// persistence: counters enqueue only every stop-loss-th update) against
+// the paper's bracketing schemes at 1 KB transactions. The first table
+// is average transaction latency; the second is counter writes reaching
+// the memory-controller queue — the traffic the stop-loss interval
+// removes, bought back at recovery time by counter probing (see the
+// crash fuzzer's recovery_probes column). Both tables come from one
+// cell grid, so the artifact is deterministic at any parallelism.
+func ExtensionOsiris(base config.Config, o Opts) (latency, writes *stats.Table, err error) {
+	schemes := []config.Scheme{config.Unsec, config.WB, config.Osiris, config.WT, config.SuperMem}
+	cols := make([]string, len(schemes))
+	for i, s := range schemes {
+		cols[i] = s.String()
+	}
+	cells := make([]Cell, 0, len(workload.Names)*len(schemes))
+	for ri, wl := range workload.Names {
+		for ci, s := range schemes {
+			cells = append(cells, Cell{Spec: o.spec(base, wl, s, 1024, 1), Row: ri, Col: ci})
+		}
+	}
+	ms, err := o.newRunner().RunCells(cells)
+	if err != nil {
+		return nil, nil, fmt.Errorf("osiris %w", err)
+	}
+	latency = stats.NewTable("Extension: Osiris stop-loss vs paper schemes, 1KB tx latency (cycles)", cols...)
+	writes = stats.NewTable("Extension: Osiris counter writes enqueued, 1KB transactions", cols...)
+	for ri, wl := range workload.Names {
+		latRow := make([]float64, len(schemes))
+		wrRow := make([]float64, len(schemes))
+		for ci := range schemes {
+			m := ms[ri*len(schemes)+ci]
+			latRow[ci] = m.AvgTxCycles()
+			wrRow[ci] = float64(m.CounterWrites)
+		}
+		latency.AddRow(wl, latRow...)
+		writes.AddRow(wl, wrRow...)
+	}
+	return latency, writes, nil
+}

@@ -47,6 +47,17 @@ type Spec struct {
 	SingleCoreBanks int
 }
 
+// config assembles the effective system configuration for the spec: the
+// base template with the spec's core count and scheme applied. Every
+// run path (trace building, the system, the cell runner) derives its
+// configuration here so they can never disagree.
+func (s Spec) config() config.Config {
+	cfg := s.Base
+	cfg.Cores = s.Cores
+	cfg.Scheme = s.Scheme
+	return cfg
+}
+
 // Opts are the sizing knobs shared by all figure runners.
 type Opts struct {
 	Transactions   int
@@ -178,9 +189,7 @@ func warmupSteps(spec Spec) int {
 // BuildSources generates the per-core op streams for a spec (exported
 // for the trace tool).
 func BuildSources(spec Spec) ([]trace.Source, error) {
-	cfg := spec.Base
-	cfg.Cores = spec.Cores
-	cfg.Scheme = spec.Scheme
+	cfg := spec.config()
 	layout := nvm.NewLayout(cfg)
 	sources := make([]trace.Source, spec.Cores)
 	for i := 0; i < spec.Cores; i++ {
@@ -250,9 +259,7 @@ func Run(spec Spec) (stats.Metrics, error) {
 // direct view of the Figure 8 story: under WT+SingleBank the counter
 // bank's busy share dwarfs every data bank's.
 func RunWithBanks(spec Spec) (stats.Metrics, []nvm.BankStats, error) {
-	cfg := spec.Base
-	cfg.Cores = spec.Cores
-	cfg.Scheme = spec.Scheme
+	cfg := spec.config()
 	sources, err := BuildSources(spec)
 	if err != nil {
 		return stats.Metrics{}, nil, err

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"supermem/internal/config"
+)
+
+// The Osiris extension flows through the registry alone: the bench
+// layer has no Osiris-specific code, yet the scheme must show fewer
+// counter writes than strict write-through (the stop-loss deferral) and
+// produce byte-identical tables at any parallelism (the artifact
+// determinism contract).
+
+func TestExtensionOsirisDefersCounterWrites(t *testing.T) {
+	latency, writes, err := ExtensionOsiris(tinyBase(), tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latency == nil || writes == nil {
+		t.Fatal("nil tables")
+	}
+	for _, row := range writes.RowLabels() {
+		osiris := writes.Cell(row, "Osiris")
+		wt := writes.Cell(row, "WT")
+		if osiris >= wt {
+			t.Errorf("%s: Osiris enqueued %.0f counter writes, WT %.0f — stop-loss deferred nothing",
+				row, osiris, wt)
+		}
+		if osiris == 0 {
+			t.Errorf("%s: Osiris enqueued no counter writes at all — stop-loss boundary never hit", row)
+		}
+	}
+}
+
+func TestExtensionOsirisDeterministicAcrossParallelism(t *testing.T) {
+	render := func(parallel int) string {
+		o := tinyOpts()
+		o.Parallel = parallel
+		latency, writes, err := ExtensionOsiris(tinyBase(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lj, err := json.Marshal(latency)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wj, err := json.Marshal(writes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(lj) + "\n" + string(wj)
+	}
+	serial := render(1)
+	concurrent := render(4)
+	if serial != concurrent {
+		t.Fatalf("ExtensionOsiris tables differ between -parallel 1 and 4:\n%s\nvs\n%s", serial, concurrent)
+	}
+}
+
+func TestOsirisSimulateCountsDeferrals(t *testing.T) {
+	o := tinyOpts()
+	m, err := Run(o.spec(tinyBase(), "array", config.Osiris, 1024, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DeferredCtrWrites == 0 {
+		t.Fatal("Osiris run recorded no deferred counter writes")
+	}
+	if m.CounterWrites == 0 {
+		t.Fatal("Osiris run persisted no counters at all")
+	}
+	// Strict write-through must not defer.
+	mWT, err := Run(o.spec(tinyBase(), "array", config.WT, 1024, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mWT.DeferredCtrWrites != 0 {
+		t.Fatalf("WT recorded %d deferred counter writes, want 0", mWT.DeferredCtrWrites)
+	}
+}

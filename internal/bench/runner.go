@@ -106,10 +106,7 @@ func (r *Runner) runCell(spec Spec, rec *obs.Recorder) (stats.Metrics, error) {
 	if err != nil {
 		return stats.Metrics{}, err
 	}
-	cfg := spec.Base
-	cfg.Cores = spec.Cores
-	cfg.Scheme = spec.Scheme
-	sys, err := core.NewSystem(cfg)
+	sys, err := core.NewSystem(spec.config())
 	if err != nil {
 		return stats.Metrics{}, err
 	}

@@ -8,6 +8,8 @@ package config
 import (
 	"fmt"
 	"math/bits"
+
+	"supermem/internal/scheme"
 )
 
 // LineSize is the cache line and memory line size in bytes. The whole
@@ -23,25 +25,30 @@ const PageSize = 4096
 // minor counters per counter line).
 const LinesPerPage = PageSize / LineSize
 
-// Scheme identifies one of the evaluated secure-NVM designs.
-type Scheme int
+// Scheme identifies one of the evaluated secure-NVM designs. It is an
+// alias of scheme.Scheme: the descriptor registry in internal/scheme is
+// the single source of truth for every behavioural property (String,
+// Encrypted, WriteThrough, CWC, CounterPlacement, SelectiveAtomicity,
+// CounterPersistInterval, and the functional machine mode).
+type Scheme = scheme.Scheme
 
+// The registered schemes, re-exported for call-site brevity.
 const (
 	// Unsec is the un-encrypted baseline NVM (no counters at all).
-	Unsec Scheme = iota
+	Unsec = scheme.Unsec
 	// WB is the ideal secure NVM: a battery-backed write-back counter
 	// cache that only writes evicted dirty counter lines to NVM. It is
 	// the performance upper bound for an encrypted NVM.
-	WB
+	WB = scheme.WB
 	// WT is the baseline write-through counter cache: every data write
 	// appends a counter write, with counters stored in a single bank.
-	WT
+	WT = scheme.WT
 	// WTCWC is WT plus locality-aware counter write coalescing.
-	WTCWC
+	WTCWC = scheme.WTCWC
 	// WTXBank is WT plus cross-bank counter storage.
-	WTXBank
+	WTXBank = scheme.WTXBank
 	// SuperMem is WT plus both CWC and XBank: the paper's design.
-	SuperMem
+	SuperMem = scheme.SuperMem
 	// SCA approximates the selective counter-atomicity design of Liu et
 	// al. (the paper's main point of comparison): a write-back counter
 	// cache where only explicit cache-line flushes persist their counter
@@ -49,92 +56,38 @@ const (
 	// in the cache. It needs no large battery, but in the real design
 	// the selectivity comes from new programming primitives — the
 	// application transparency SuperMem exists to avoid.
-	SCA
+	SCA = scheme.SCA
+	// Osiris is the relaxed counter-persistence design of Ye et al.:
+	// counters persist only every stop-loss-th update, and post-crash
+	// recovery probes candidate counters against per-line integrity
+	// tags to rebuild the lost values.
+	Osiris = scheme.Osiris
 )
 
-var schemeNames = map[Scheme]string{
-	Unsec:    "Unsec",
-	WB:       "WB",
-	WT:       "WT",
-	WTCWC:    "WT+CWC",
-	WTXBank:  "WT+XBank",
-	SuperMem: "SuperMem",
-	SCA:      "SCA",
-}
-
-// String returns the paper's name for the scheme.
-func (s Scheme) String() string {
-	if n, ok := schemeNames[s]; ok {
-		return n
-	}
-	return fmt.Sprintf("Scheme(%d)", int(s))
-}
-
 // AllSchemes lists the schemes in the order the paper's figures plot
-// them (SCA is an extension beyond the paper's figures; see
+// them (extensions beyond the paper's figures appear only in
 // ExtendedSchemes).
-func AllSchemes() []Scheme {
-	return []Scheme{Unsec, WB, WT, WTCWC, WTXBank, SuperMem}
-}
+func AllSchemes() []Scheme { return scheme.Paper() }
 
-// ExtendedSchemes adds this repository's extra baselines to the paper's
-// scheme list.
-func ExtendedSchemes() []Scheme {
-	return append(AllSchemes(), SCA)
-}
+// ExtendedSchemes adds this repository's extra baselines (SCA, Osiris)
+// to the paper's scheme list.
+func ExtendedSchemes() []Scheme { return scheme.Extended() }
 
-// Encrypted reports whether the scheme encrypts memory (all but Unsec).
-func (s Scheme) Encrypted() bool { return s != Unsec }
-
-// WriteThrough reports whether the scheme uses a write-through counter
-// cache for every data write to NVM.
-func (s Scheme) WriteThrough() bool {
-	return s == WT || s == WTCWC || s == WTXBank || s == SuperMem
-}
-
-// SelectiveAtomicity reports whether the scheme persists counters
-// atomically only for explicit flushes (the SCA extension).
-func (s Scheme) SelectiveAtomicity() bool { return s == SCA }
-
-// CWC reports whether counter write coalescing is enabled.
-func (s Scheme) CWC() bool { return s == WTCWC || s == SuperMem }
-
-// Placement identifies the counter-line placement policy (Figure 8).
-type Placement int
+// Placement identifies the counter-line placement policy (Figure 8),
+// aliased from the scheme registry.
+type Placement = scheme.Placement
 
 const (
 	// SingleBank stores all counter lines in one dedicated bank
 	// (Figure 8a), the conventional layout.
-	SingleBank Placement = iota
+	SingleBank = scheme.SingleBank
 	// SameBank stores the counter line in the same bank as its data
 	// (Figure 8b).
-	SameBank
+	SameBank = scheme.SameBank
 	// XBank stores the counter line of data in bank X in bank
 	// (X + N/2) mod N (Figure 8c), the paper's layout.
-	XBank
+	XBank = scheme.XBank
 )
-
-var placementNames = map[Placement]string{
-	SingleBank: "SingleBank",
-	SameBank:   "SameBank",
-	XBank:      "XBank",
-}
-
-// String returns the paper's name for the placement.
-func (p Placement) String() string {
-	if n, ok := placementNames[p]; ok {
-		return n
-	}
-	return fmt.Sprintf("Placement(%d)", int(p))
-}
-
-// CounterPlacement returns the counter placement the scheme uses.
-func (s Scheme) CounterPlacement() Placement {
-	if s == WTXBank || s == SuperMem {
-		return XBank
-	}
-	return SingleBank
-}
 
 // CacheConfig describes one set-associative cache.
 type CacheConfig struct {
@@ -270,6 +223,9 @@ func (c Config) WithScheme(s Scheme) Config {
 func (c Config) Validate() error {
 	if c.Cores <= 0 {
 		return fmt.Errorf("config: cores must be positive, got %d", c.Cores)
+	}
+	if !scheme.Registered(c.Scheme) {
+		return fmt.Errorf("config: unknown scheme %v: not in the scheme registry (see internal/scheme)", c.Scheme)
 	}
 	for _, cc := range []struct {
 		name string

@@ -165,3 +165,21 @@ func TestPlacementString(t *testing.T) {
 		t.Error("unknown scheme should include numeric value")
 	}
 }
+
+func TestValidateRejectsUnregisteredScheme(t *testing.T) {
+	cfg := Default()
+	cfg.Scheme = Scheme(99)
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted an unregistered scheme")
+	}
+	if !strings.Contains(err.Error(), "registry") {
+		t.Errorf("error %q should point at the scheme registry", err)
+	}
+	// Every registered scheme validates with the default config.
+	for _, s := range ExtendedSchemes() {
+		if err := Default().WithScheme(s).Validate(); err != nil {
+			t.Errorf("%v: Validate() = %v", s, err)
+		}
+	}
+}

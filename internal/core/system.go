@@ -48,6 +48,11 @@ type System struct {
 	rec   *obs.Recorder
 
 	placement config.Placement
+	// ctrInterval is the scheme's counter-persist interval: 1 persists
+	// the counter with every write-through data write; > 1 (Osiris's
+	// stop-loss) enqueues the counter only when the line's minor counter
+	// is a multiple of the interval.
+	ctrInterval int
 
 	// Warmup exclusion: when every core has executed a trace.Reset op,
 	// the global counters are snapshotted and subtracted from the final
@@ -80,9 +85,10 @@ func NewSystem(cfg config.Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		cfg:       cfg,
-		eng:       &sim.Engine{},
-		placement: cfg.Placement(),
+		cfg:         cfg,
+		eng:         &sim.Engine{},
+		placement:   cfg.Placement(),
+		ctrInterval: cfg.Scheme.CounterPersistInterval(),
 	}
 	s.dev = nvm.NewDevice(cfg)
 	s.layout = s.dev.Layout()
@@ -185,6 +191,7 @@ func (s *System) Run(sources []trace.Source) (stats.Metrics, error) {
 		m.DataWrites -= s.snapshot.DataWrites
 		m.CounterWrites -= s.snapshot.CounterWrites
 		m.CoalescedWrites -= s.snapshot.CoalescedWrites
+		m.DeferredCtrWrites -= s.snapshot.DeferredCtrWrites
 		m.NVMReads -= s.snapshot.NVMReads
 		m.Reencryptions -= s.snapshot.Reencryptions
 		m.ReencryptLines -= s.snapshot.ReencryptLines
@@ -419,9 +426,18 @@ func (s *System) securePersist(c *coreState, t, line uint64, charge bool) (lat u
 		lat = 0
 	}
 	if writeThrough {
-		// The register (Figure 7) appends the encrypted data line and
-		// its counter line atomically.
-		groups = append(groups, []memctrl.Entry{{Addr: line}, {Addr: ctrAddr, Counter: true}})
+		if s.ctrInterval > 1 && int(cl.Minors[ctr.LineIndex(line)])%s.ctrInterval != 0 {
+			// Relaxed counter persistence (Osiris's stop-loss): the
+			// counter write is deferred until the minor counter reaches
+			// the next interval boundary; only the data line enqueues.
+			s.m.DeferredCtrWrites++
+			s.rec.Count(obs.SeriesCtrDeferred, t, 1)
+			groups = append(groups, []memctrl.Entry{{Addr: line}})
+		} else {
+			// The register (Figure 7) appends the encrypted data line and
+			// its counter line atomically.
+			groups = append(groups, []memctrl.Entry{{Addr: line}, {Addr: ctrAddr, Counter: true}})
+		}
 	} else {
 		// Write-back: the counter stays dirty in the counter cache and
 		// reaches NVM only on eviction.

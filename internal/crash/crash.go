@@ -122,6 +122,11 @@ type Result struct {
 	// Consistent reports whether the recovered structure matched the
 	// state after CompletedSteps or CompletedSteps+1 transactions.
 	Consistent bool
+	// RecoveryProbes is the number of candidate decryptions counter
+	// recovery performed on the final recovered machine (zero for modes
+	// that never probe) — the per-crash recovery cost of relaxed counter
+	// persistence.
+	RecoveryProbes int `json:"recovery_probes,omitempty"`
 	// Detail carries the verification error when inconsistent.
 	Detail string
 }
@@ -266,6 +271,7 @@ func runAndRecover(p Params, crashAt, recoveryCrashAt int, inj *fault.Injector) 
 		r = r.Recover()
 		pmem.Recover(r, logBase, logSize)
 	}
+	res.RecoveryProbes = r.OsirisProbes()
 
 	// The recovered structure must equal the replayed state after
 	// either `completed` or `completed+1` transactions.

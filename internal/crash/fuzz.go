@@ -13,6 +13,7 @@ import (
 	"supermem/internal/machine"
 	"supermem/internal/par"
 	"supermem/internal/pmem"
+	"supermem/internal/scheme"
 )
 
 // The differential crash-consistency fuzzer. Where Sweep checks one
@@ -27,48 +28,19 @@ import (
 // counter lines.
 
 // AllModes lists every machine design the differential fuzzer sweeps,
-// in Table 1 order plus the baselines.
-var AllModes = []machine.Mode{
-	machine.Unencrypted,
-	machine.WTRegister,
-	machine.WTNoRegister,
-	machine.WBBattery,
-	machine.WBNoBattery,
-	machine.Osiris,
-}
-
-// wtNoRegisterMasked lists the workloads whose logged in-place writes
-// always cover whole cache lines. For those, the redo log's redundancy
-// masks the counter-before-data window of WTNoRegister: the crash
-// garbles a line, but the sealed log rewrites every byte of it during
-// recovery. Workloads that perform sub-line logged writes into lines
-// holding other live data (a hash bucket pointer, a btree meta field)
-// are NOT masked — replaying the 8-byte record re-encrypts the line
-// but cannot restore the co-located bytes the torn counter destroyed.
-// That is exactly Figure 6's window surfacing through Table 1.
-var wtNoRegisterMasked = map[string]bool{
-	"array":  true,
-	"queue":  true,
-	"rbtree": true,
-}
+// in mode registration order (Table 1 order plus the baselines). It is
+// derived from the scheme registry: registering a new functional mode
+// automatically adds it to the fuzzer's and the fault sweep's grids.
+var AllModes = scheme.Modes()
 
 // ExpectedConsistent is Table 1's recoverability claim for a mode on a
 // workload: true means every crash point (nested ones included) must
 // recover to a transaction boundary; false means the design must
-// corrupt at least one crash point. WBNoBattery loses dirty counters
-// outright and corrupts on every workload. WTNoRegister corrupts
-// exactly when the workload's logged writes are sub-line (see
-// wtNoRegisterMasked); the raw-store window is demonstrated separately
-// in internal/machine's tests.
+// corrupt at least one crash point. The expectations are the registered
+// Table1 rows in internal/scheme (the raw-store window of WTNoRegister
+// is demonstrated separately in internal/machine's tests).
 func ExpectedConsistent(mode machine.Mode, workload string) bool {
-	switch mode {
-	case machine.WBNoBattery:
-		return false
-	case machine.WTNoRegister:
-		return wtNoRegisterMasked[workload]
-	default:
-		return true
-	}
+	return scheme.ExpectedConsistent(mode, workload)
 }
 
 // FuzzParams configures a differential fuzzing run.
@@ -196,6 +168,10 @@ type ModeVerdict struct {
 	// ExpectedOK is Table 1's expectation for this mode on the swept
 	// workload (see ExpectedConsistent).
 	ExpectedOK bool `json:"expected_ok"`
+	// RecoveryProbes sums the candidate decryptions counter recovery
+	// performed across the tested points — the recovery cost of relaxed
+	// counter persistence (zero for modes that never probe).
+	RecoveryProbes int `json:"recovery_probes"`
 }
 
 // Consistent reports whether every tested point recovered.
@@ -355,11 +331,13 @@ func fuzzMode(fp FuzzParams, mode machine.Mode) (ModeVerdict, error) {
 		if !o.outer.Consistent {
 			v.Inconsistent = append(v.Inconsistent, o.outer)
 		}
+		v.RecoveryProbes += o.outer.RecoveryProbes
 		v.NestedTested += len(o.nested)
 		for _, nr := range o.nested {
 			if !nr.Consistent {
 				v.Inconsistent = append(v.Inconsistent, nr)
 			}
+			v.RecoveryProbes += nr.RecoveryProbes
 		}
 	}
 	if len(v.Inconsistent) > 0 {

@@ -18,64 +18,53 @@ import (
 	"supermem/internal/ctr"
 	"supermem/internal/fault"
 	"supermem/internal/obs"
+	"supermem/internal/scheme"
 )
 
-// Mode selects the persistence design of the machine. It is richer than
-// config.Scheme because crash behaviour distinguishes variants that
-// perform identically (battery vs no battery) and the paper's register
-// ablation.
-type Mode int
+// Mode selects the persistence design of the machine. It is an alias of
+// scheme.Mode: the registered ModeInfo in internal/scheme is the single
+// source of truth for crash-state behaviour (String, Encrypted, the
+// flush dispatch policy, and Table 1's recoverability expectations). It
+// is richer than config.Scheme because crash behaviour distinguishes
+// variants that perform identically (battery vs no battery) and the
+// paper's register ablation.
+type Mode = scheme.Mode
 
+// The registered modes, re-exported for call-site brevity.
 const (
 	// Unencrypted stores plaintext in NVM: the crash-consistency
 	// baseline with no counters at all.
-	Unencrypted Mode = iota
+	Unencrypted = scheme.ModeUnencrypted
 	// WTRegister is SuperMem's design: a write-through counter cache
 	// whose data+counter pair is appended to the ADR write queue
 	// atomically through the two-line register (Figure 7).
-	WTRegister
+	WTRegister = scheme.ModeWTRegister
 	// WTNoRegister is the broken strawman of Figure 6: the counter is
 	// appended to the write queue before its data, leaving a window
 	// where a crash persists the new counter but not the data.
-	WTNoRegister
+	WTNoRegister = scheme.ModeWTNoRegister
 	// WBBattery is the ideal write-back counter cache with a full
 	// battery backup: dirty counters are flushed to NVM on power loss.
-	WBBattery
+	WBBattery = scheme.ModeWBBattery
 	// WBNoBattery is a write-back counter cache without battery: dirty
 	// counters in the volatile counter cache are lost on a crash.
-	WBNoBattery
+	WBNoBattery = scheme.ModeWBNoBattery
 	// Osiris relaxes counter persistence (Ye et al., the paper's
 	// related-work alternative): counters persist every few updates and
 	// lost values are recovered after a crash by probing candidate
 	// counters against each line's integrity tag. See osiris.go.
-	Osiris
+	Osiris = scheme.ModeOsiris
 )
-
-var modeNames = map[Mode]string{
-	Unencrypted:  "Unencrypted",
-	WTRegister:   "WT+Register",
-	WTNoRegister: "WT-NoRegister",
-	WBBattery:    "WB+Battery",
-	WBNoBattery:  "WB-NoBattery",
-	Osiris:       "Osiris",
-}
-
-// String names the mode.
-func (m Mode) String() string {
-	if n, ok := modeNames[m]; ok {
-		return n
-	}
-	return fmt.Sprintf("Mode(%d)", int(m))
-}
-
-// Encrypted reports whether the mode encrypts NVM contents.
-func (m Mode) Encrypted() bool { return m != Unencrypted }
 
 type line = [config.LineSize]byte
 
 // Machine is a functional secure-PM machine.
 type Machine struct {
-	mode   Mode
+	mode Mode
+	// pol is the mode's registered crash-state policy; every behavioural
+	// decision (flush dispatch, battery flush, tagged recovery) reads it
+	// rather than comparing mode IDs.
+	pol    scheme.ModeInfo
 	cipher *aes.Cipher
 
 	// nvmData holds persisted data lines: ciphertext under encrypted
@@ -141,14 +130,20 @@ func WithCrashAtPersist(n int) Option {
 	return func(m *Machine) { m.crashAt = n }
 }
 
-// New builds a machine. The key seeds the AES engine; any 16 bytes.
+// New builds a machine. The key seeds the AES engine; any 16 bytes. The
+// mode must be registered in internal/scheme.
 func New(mode Mode, key []byte, opts ...Option) (*Machine, error) {
+	pol, ok := scheme.LookupMode(mode)
+	if !ok {
+		return nil, fmt.Errorf("machine: mode %v is not registered (see internal/scheme)", mode)
+	}
 	cipher, err := aes.New(key)
 	if err != nil {
 		return nil, err
 	}
 	m := &Machine{
 		mode:     mode,
+		pol:      pol,
 		cipher:   cipher,
 		nvmData:  make(map[uint64]line),
 		nvmCtr:   make(map[uint64]ctr.Line),
@@ -264,7 +259,7 @@ func (m *Machine) loadLine(base uint64) line {
 // is tallied and decrypts to garbage like the real machine-check path.
 func (m *Machine) decryptNVM(base uint64) line {
 	raw := m.readData(base)
-	if !m.mode.Encrypted() {
+	if !m.pol.Encrypted {
 		return raw
 	}
 	page := base / config.PageSize
@@ -300,7 +295,7 @@ func (m *Machine) CLWB(addr uint64) {
 	if !dirty {
 		return
 	}
-	if !m.mode.Encrypted() {
+	if !m.pol.Encrypted {
 		if !m.stepPersist() {
 			return
 		}
@@ -309,7 +304,8 @@ func (m *Machine) CLWB(addr uint64) {
 		return
 	}
 
-	if m.mode == Osiris {
+	if m.pol.CounterPersistInterval > 1 {
+		// Relaxed counter persistence (tagged flush path, see osiris.go).
 		m.osirisCLWB(base, plain)
 		return
 	}
@@ -334,8 +330,8 @@ func (m *Machine) CLWB(addr uint64) {
 	// enqueue are the same event at the encryption engine, so a crash
 	// that loses the data write must also lose the bump (otherwise a
 	// battery flush would persist a counter whose data never landed).
-	switch m.mode {
-	case WTRegister:
+	switch {
+	case m.pol.WriteThrough && m.pol.Register:
 		// The register appends data and counter atomically: one step.
 		if !m.stepPersist() {
 			return
@@ -343,7 +339,7 @@ func (m *Machine) CLWB(addr uint64) {
 		m.persistData(base, cipherText)
 		m.persistCtr(page, cl)
 		m.ctrCache.Set(page, cl)
-	case WTNoRegister:
+	case m.pol.WriteThrough:
 		// Figure 6: counter first, then data — two separate steps with
 		// a crash window between them.
 		if !m.stepPersist() {
@@ -355,17 +351,15 @@ func (m *Machine) CLWB(addr uint64) {
 			return
 		}
 		m.persistData(base, cipherText)
-	case WBBattery, WBNoBattery:
-		// Data goes to NVM; the counter stays dirty in the volatile
-		// counter cache.
+	default:
+		// Write-back: data goes to NVM; the counter stays dirty in the
+		// volatile counter cache (battery or not matters only at crash).
 		if !m.stepPersist() {
 			return
 		}
 		m.persistData(base, cipherText)
 		m.ctrCache.Set(page, cl)
 		m.ctrDirty[page] = true
-	default:
-		panic(fmt.Sprintf("machine: unhandled mode %v", m.mode))
 	}
 	delete(m.cpuCache, base)
 }
@@ -453,6 +447,7 @@ func (m *Machine) Crash() {
 func (m *Machine) Recover(opts ...Option) *Machine {
 	n := &Machine{
 		mode:     m.mode,
+		pol:      m.pol,
 		cipher:   m.cipher,
 		nvmData:  make(map[uint64]line, len(m.nvmData)),
 		nvmCtr:   make(map[uint64]ctr.Line, len(m.nvmCtr)),
@@ -477,7 +472,7 @@ func (m *Machine) Recover(opts ...Option) *Machine {
 	for a, t := range m.nvmTag {
 		n.nvmTag[a] = t
 	}
-	if m.mode == WBBattery {
+	if m.pol.Battery {
 		// The battery flushes every dirty counter line on power loss.
 		for page := range m.ctrDirty {
 			if l, ok := m.ctrCache.Peek(page); ok {
@@ -490,7 +485,7 @@ func (m *Machine) Recover(opts ...Option) *Machine {
 		n.rsr = &cp
 		n.finishReencryption()
 	}
-	if m.mode == Osiris && !n.crashed {
+	if m.pol.Tagged && !n.crashed {
 		n.recoverOsirisCounters()
 	}
 	return n

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -79,5 +80,13 @@ func TestUnencryptedOverflowFree(t *testing.T) {
 	}
 	if m.Persists() != 200 {
 		t.Fatalf("Persists = %d, want 200 (one per flush, no re-encryption)", m.Persists())
+	}
+}
+
+func TestNewRejectsUnregisteredMode(t *testing.T) {
+	if _, err := New(Mode(99), testKey); err == nil {
+		t.Fatal("New accepted an unregistered mode")
+	} else if !strings.Contains(err.Error(), "not registered") {
+		t.Errorf("error %q should say the mode is unregistered", err)
 	}
 }

@@ -5,22 +5,20 @@ import (
 
 	"supermem/internal/config"
 	"supermem/internal/ctr"
+	"supermem/internal/obs"
 )
 
 // Osiris-style relaxed counter persistence (Ye et al., cited as the
 // alternative design in the paper's related work): instead of
 // persisting the counter with every data write, the counter line is
-// written only every osirisStopLoss-th update of a minor counter. After
-// a crash the lost counter values are *recovered* by probing: each line
-// is decrypted under candidate counters (persisted value, +1, ..,
-// +stop-loss) until its per-line integrity tag — modelling the ECC bits
-// that accompany every NVM line — validates. Recovery works, but its
-// cost scales with the number of lines in memory, which is the paper's
-// argument for SuperMem's strict counter persistence (Section 6).
-
-// osirisStopLoss is the maximum number of counter updates that may be
-// lost (and therefore probed for) per line.
-const osirisStopLoss = 4
+// written only every stop-loss-th update of a minor counter (the mode's
+// registered CounterPersistInterval). After a crash the lost counter
+// values are *recovered* by probing: each line is decrypted under
+// candidate counters (persisted value, +1, .., +stop-loss) until its
+// per-line integrity tag — modelling the ECC bits that accompany every
+// NVM line — validates. Recovery works, but its cost scales with the
+// number of lines in memory, which is the paper's argument for
+// SuperMem's strict counter persistence (Section 6).
 
 // lineTag computes the integrity tag standing in for the line's ECC.
 func lineTag(plain line) uint32 {
@@ -50,7 +48,7 @@ func (m *Machine) osirisCLWB(base uint64, plain line) {
 	m.persistData(base, ctr.XorLine(plain, pad))
 	m.nvmTag[base] = lineTag(plain)
 	m.ctrCache.Set(page, cl)
-	if uint32(cl.Minors[li])%osirisStopLoss == 0 {
+	if uint32(cl.Minors[li])%uint32(m.pol.CounterPersistInterval) == 0 {
 		if !m.stepPersist() {
 			return
 		}
@@ -75,6 +73,7 @@ func (m *Machine) OsirisProbes() int { return m.osirisProbes }
 // reconstructs controller metadata rather than writing new NVM state,
 // so it consumes no persistence micro-steps.
 func (n *Machine) recoverOsirisCounters() {
+	stopLoss := uint32(n.pol.CounterPersistInterval)
 	for _, base := range n.NVMLines() {
 		cipherText := n.readData(base)
 		page := base / config.PageSize
@@ -88,7 +87,7 @@ func (n *Machine) recoverOsirisCounters() {
 			continue // never written through the Osiris path
 		}
 		recovered := false
-		for delta := uint32(0); delta <= osirisStopLoss; delta++ {
+		for delta := uint32(0); delta <= stopLoss; delta++ {
 			cand := cl
 			// Candidate minor may wrap through a page re-encryption;
 			// keep the probe simple (the stop-loss write at the wrap
@@ -113,4 +112,5 @@ func (n *Machine) recoverOsirisCounters() {
 		}
 		_ = recovered // an unrecoverable line keeps its stale counter and reads as garbage
 	}
+	n.rec.InstantArg(obs.TrackMachine, "osiris probes", uint64(n.persists), "probes", uint64(n.osirisProbes))
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+
+	"supermem/internal/scheme"
 )
 
 func TestOsirisSurvivesCrashWithUnpersistedCounters(t *testing.T) {
@@ -27,14 +29,14 @@ func TestOsirisSurvivesCrashWithUnpersistedCounters(t *testing.T) {
 
 func TestOsirisStopLossBoundsCounterWrites(t *testing.T) {
 	m := newM(t, Osiris)
-	for i := 0; i < osirisStopLoss; i++ {
+	for i := 0; i < scheme.OsirisStopLoss; i++ {
 		m.Store(0, []byte{byte(i)})
 		m.CLWB(0)
 	}
 	// Flushes persist data each time but the counter only at the
 	// stop-loss boundary: persists = stopLoss data + 1 counter.
-	if got := m.Persists(); got != osirisStopLoss+1 {
-		t.Fatalf("Persists = %d, want %d", got, osirisStopLoss+1)
+	if got := m.Persists(); got != scheme.OsirisStopLoss+1 {
+		t.Fatalf("Persists = %d, want %d", got, scheme.OsirisStopLoss+1)
 	}
 }
 

@@ -62,6 +62,9 @@ const (
 	// SeriesBankRemaps counts accesses remapped away from quarantined
 	// banks per window.
 	SeriesBankRemaps
+	// SeriesCtrDeferred counts counter writes deferred by relaxed
+	// counter-persistence schemes (Osiris's stop-loss) per window.
+	SeriesCtrDeferred
 
 	numSeries
 )
@@ -307,6 +310,7 @@ func (r *Recorder) counterTracks() []counterTrack {
 		{name: "coalesce rate", values: rate(coal, cenq)},
 		{name: "engine events/window", values: r.series[SeriesEngineEvents].values(r.window, end)},
 		{name: "bank remaps/window", values: r.series[SeriesBankRemaps].values(r.window, end)},
+		{name: "ctr deferred/window", values: r.series[SeriesCtrDeferred].values(r.window, end)},
 	}
 	for b := range r.banks {
 		tracks = append(tracks, counterTrack{

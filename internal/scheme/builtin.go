@@ -1,0 +1,132 @@
+package scheme
+
+// Built-in registrations: the paper's six schemes, this repository's
+// two extensions (SCA, Osiris), and the six functional machine designs
+// they map onto. This file is the worked example of the one-file
+// registration path DESIGN.md describes — a new design touches nothing
+// outside the registry.
+//
+// Ordering matters and is part of the artifact contract:
+//   - scheme registration order is figure-column order (paper schemes
+//     first, extensions after), and
+//   - mode registration order is the crash fuzzer's and fault sweep's
+//     report order (Table 1 order plus the baselines).
+
+// OsirisStopLoss is the counter-persist interval of the Osiris design:
+// the maximum number of counter updates that may be lost to a crash
+// (and therefore probed for during recovery).
+const OsirisStopLoss = 4
+
+// table1 builds a Table 1 expectation row for the evaluation's five
+// workloads from the consistent-workload set.
+func table1(consistent ...string) map[string]bool {
+	t := map[string]bool{
+		"array":     false,
+		"queue":     false,
+		"btree":     false,
+		"hashtable": false,
+		"rbtree":    false,
+	}
+	for _, w := range consistent {
+		t[w] = true
+	}
+	return t
+}
+
+// allConsistent is the Table 1 row of designs that recover every crash
+// point on every workload.
+func allConsistent() map[string]bool {
+	return table1("array", "queue", "btree", "hashtable", "rbtree")
+}
+
+func init() {
+	// Functional machine designs, in Table 1 order plus the baselines.
+	RegisterMode(ModeInfo{
+		ID: ModeUnencrypted, Name: "Unencrypted",
+		Table1: allConsistent(), Table1Default: true,
+	})
+	RegisterMode(ModeInfo{
+		ID: ModeWTRegister, Name: "WT+Register",
+		Encrypted: true, WriteThrough: true, Register: true,
+		Table1: allConsistent(), Table1Default: true,
+	})
+	// WTNoRegister corrupts exactly when the workload's logged writes
+	// are sub-line: whole-line logged writes (array, queue, rbtree) let
+	// the redo log's redundancy mask the counter-before-data window,
+	// but replaying an 8-byte record into a line holding other live
+	// data (a hash bucket pointer, a btree meta field) re-encrypts the
+	// line without restoring the co-located bytes the torn counter
+	// destroyed — Figure 6's window surfacing through Table 1.
+	RegisterMode(ModeInfo{
+		ID: ModeWTNoRegister, Name: "WT-NoRegister",
+		Encrypted: true, WriteThrough: true,
+		Table1: table1("array", "queue", "rbtree"),
+	})
+	RegisterMode(ModeInfo{
+		ID: ModeWBBattery, Name: "WB+Battery",
+		Encrypted: true, Battery: true,
+		Table1: allConsistent(), Table1Default: true,
+	})
+	// WBNoBattery loses dirty counters outright and corrupts on every
+	// workload.
+	RegisterMode(ModeInfo{
+		ID: ModeWBNoBattery, Name: "WB-NoBattery",
+		Encrypted: true,
+		Table1:    table1(),
+	})
+	RegisterMode(ModeInfo{
+		ID: ModeOsiris, Name: "Osiris",
+		Encrypted: true, WriteThrough: true,
+		CounterPersistInterval: OsirisStopLoss, Tagged: true,
+		Table1: allConsistent(), Table1Default: true,
+	})
+
+	// Timing schemes, in figure-column order.
+	Register(Descriptor{
+		ID: Unsec, Name: "Unsec",
+		Mode: ModeUnencrypted,
+	})
+	Register(Descriptor{
+		ID: WB, Name: "WB",
+		Encrypted: true, Placement: SingleBank,
+		Mode: ModeWBBattery,
+	})
+	Register(Descriptor{
+		ID: WT, Name: "WT",
+		Encrypted: true, WriteThrough: true, Placement: SingleBank,
+		Mode: ModeWTRegister,
+	})
+	Register(Descriptor{
+		ID: WTCWC, Name: "WT+CWC",
+		Encrypted: true, WriteThrough: true, CWC: true, Placement: SingleBank,
+		Mode: ModeWTRegister,
+	})
+	Register(Descriptor{
+		ID: WTXBank, Name: "WT+XBank",
+		Encrypted: true, WriteThrough: true, Placement: XBank,
+		Mode: ModeWTRegister,
+	})
+	Register(Descriptor{
+		ID: SuperMem, Name: "SuperMem",
+		Encrypted: true, WriteThrough: true, CWC: true, Placement: XBank,
+		Mode: ModeWTRegister,
+	})
+	// SCA's evaluation flushes everything a transaction writes, so its
+	// crash behaviour matches the register design (flushed counters
+	// persist atomically with their data); selectivity shows up only in
+	// the timing model's eviction path.
+	Register(Descriptor{
+		ID: SCA, Name: "SCA",
+		Encrypted: true, SelectiveAtomicity: true, Placement: SingleBank,
+		Mode: ModeWTRegister, Extended: true,
+	})
+	// Osiris as a full scheme: write-through timing with the stop-loss
+	// interval deferring most counter writes, backed by the tagged
+	// functional mode whose recovery probes reconstruct lost counters.
+	Register(Descriptor{
+		ID: Osiris, Name: "Osiris",
+		Encrypted: true, WriteThrough: true, Placement: SingleBank,
+		CounterPersistInterval: OsirisStopLoss,
+		Mode:                   ModeOsiris, Extended: true,
+	})
+}

@@ -1,0 +1,119 @@
+// noswitch_test enforces the refactor's core invariant mechanically: no
+// production file outside internal/scheme may switch on a Scheme or
+// Mode value. Behaviour differences between designs must come from the
+// registered descriptor fields, so that registering a new design (the
+// Osiris worked example in DESIGN.md) never requires editing a switch
+// in another layer. Test files are exempt — pinning behaviour per
+// scheme in a test is fine.
+package scheme_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// schemeConstIdents are the exported identifiers of Scheme and Mode
+// constants (including the config/machine aliases). A switch whose case
+// clauses mention one of these is dispatching on a design identity.
+var schemeConstIdents = map[string]bool{
+	"Unsec": true, "WB": true, "WT": true, "WTCWC": true,
+	"WTXBank": true, "SuperMem": true, "SCA": true, "Osiris": true,
+	"Unencrypted": true, "WTRegister": true, "WTNoRegister": true,
+	"WBBattery": true, "WBNoBattery": true,
+	"ModeUnencrypted": true, "ModeWTRegister": true, "ModeWTNoRegister": true,
+	"ModeWBBattery": true, "ModeWBNoBattery": true, "ModeOsiris": true,
+}
+
+var schemeTagPattern = regexp.MustCompile(`(?i)\b(mode|scheme)\b`)
+
+func TestNoSchemeSwitchesOutsideRegistry(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var violations []string
+
+	err = filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == ".git" || path == filepath.Join(root, "internal", "scheme") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			if bad, why := schemeSwitch(sw); bad {
+				rel, _ := filepath.Rel(root, path)
+				pos := fset.Position(sw.Pos())
+				violations = append(violations,
+					rel+":"+pos.String()[strings.LastIndex(pos.String(), ":")+1:]+" switches on "+why)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("scheme/mode dispatch outside internal/scheme: %s "+
+			"(route the behaviour through a Descriptor/ModeInfo field instead)", v)
+	}
+}
+
+// schemeSwitch reports whether the switch dispatches on a Scheme or
+// Mode: either its tag expression names one, or a case clause compares
+// against a Scheme/Mode constant.
+func schemeSwitch(sw *ast.SwitchStmt) (bool, string) {
+	if sw.Tag != nil {
+		var buf bytes.Buffer
+		_ = printer.Fprint(&buf, token.NewFileSet(), sw.Tag)
+		if schemeTagPattern.MatchString(buf.String()) {
+			return true, "tag " + buf.String()
+		}
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			switch x := e.(type) {
+			case *ast.Ident:
+				if schemeConstIdents[x.Name] {
+					return true, "case " + x.Name
+				}
+			case *ast.SelectorExpr:
+				if schemeConstIdents[x.Sel.Name] {
+					var buf bytes.Buffer
+					_ = printer.Fprint(&buf, token.NewFileSet(), x)
+					return true, "case " + buf.String()
+				}
+			}
+		}
+	}
+	return false, ""
+}

@@ -1,0 +1,341 @@
+// Package scheme is the registry of secure-NVM designs. It is the
+// single source of truth for both axes the simulator models:
+//
+//   - Scheme is the *timing* axis: which write path the discrete-event
+//     simulator charges (write-through vs write-back counters, CWC,
+//     counter placement, selective atomicity, relaxed counter-persist
+//     intervals).
+//   - Mode is the *crash-state* axis: how the byte-accurate functional
+//     machine persists counters, what survives power loss, and Table 1's
+//     recoverability expectation per workload.
+//
+// Every behavioural predicate (config.Scheme methods, the machine's
+// flush dispatch, the crash fuzzer's Table 1 expectations, the bench
+// harness's scheme lists) routes through descriptors registered here.
+// Adding a design is one Register/RegisterMode call in builtin.go — no
+// other layer enumerates designs. The package deliberately imports only
+// the standard library so config, machine, and everything above them can
+// depend on it without cycles.
+package scheme
+
+import "fmt"
+
+// Scheme identifies one of the evaluated secure-NVM designs (the timing
+// axis). The zero value is the unencrypted baseline.
+type Scheme int
+
+// The registered schemes, in the paper's figure order, followed by this
+// repository's extensions. Values are stable identifiers; behaviour
+// lives in the registered Descriptor.
+const (
+	// Unsec is the un-encrypted baseline NVM (no counters at all).
+	Unsec Scheme = iota
+	// WB is the ideal secure NVM: a battery-backed write-back counter
+	// cache that only writes evicted dirty counter lines to NVM.
+	WB
+	// WT is the baseline write-through counter cache.
+	WT
+	// WTCWC is WT plus locality-aware counter write coalescing.
+	WTCWC
+	// WTXBank is WT plus cross-bank counter storage.
+	WTXBank
+	// SuperMem is WT plus both CWC and XBank: the paper's design.
+	SuperMem
+	// SCA approximates the selective counter-atomicity design of Liu et
+	// al.: write-back counters persisted atomically only on explicit
+	// flushes.
+	SCA
+	// Osiris is the relaxed counter-persistence design of Ye et al.:
+	// counters reach NVM only every stop-loss-th update and lost values
+	// are recovered after a crash by probing candidates against per-line
+	// integrity tags.
+	Osiris
+)
+
+// Mode selects the persistence design of the byte-accurate functional
+// machine (the crash-state axis). It is richer than Scheme because
+// crash behaviour distinguishes variants that perform identically
+// (battery vs no battery) and the paper's register ablation.
+type Mode int
+
+const (
+	// ModeUnencrypted stores plaintext in NVM: the crash-consistency
+	// baseline with no counters at all.
+	ModeUnencrypted Mode = iota
+	// ModeWTRegister is SuperMem's design: a write-through counter cache
+	// whose data+counter pair is appended to the ADR write queue
+	// atomically through the two-line register (Figure 7).
+	ModeWTRegister
+	// ModeWTNoRegister is the broken strawman of Figure 6: the counter
+	// is appended before its data, leaving a crash window.
+	ModeWTNoRegister
+	// ModeWBBattery is the ideal write-back counter cache with a full
+	// battery backup.
+	ModeWBBattery
+	// ModeWBNoBattery is a write-back counter cache whose dirty counters
+	// are lost on a crash.
+	ModeWBNoBattery
+	// ModeOsiris relaxes counter persistence and recovers lost counters
+	// after a crash by probing against per-line integrity tags.
+	ModeOsiris
+)
+
+// Placement identifies the counter-line placement policy (Figure 8).
+type Placement int
+
+const (
+	// SingleBank stores all counter lines in one dedicated bank
+	// (Figure 8a), the conventional layout.
+	SingleBank Placement = iota
+	// SameBank stores the counter line in the same bank as its data
+	// (Figure 8b).
+	SameBank
+	// XBank stores the counter line of data in bank X in bank
+	// (X + N/2) mod N (Figure 8c), the paper's layout.
+	XBank
+)
+
+var placementNames = map[Placement]string{
+	SingleBank: "SingleBank",
+	SameBank:   "SameBank",
+	XBank:      "XBank",
+}
+
+// String returns the paper's name for the placement.
+func (p Placement) String() string {
+	if n, ok := placementNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("Placement(%d)", int(p))
+}
+
+// Descriptor is one scheme's full timing policy. Registering a
+// descriptor is all it takes for the scheme to flow through config
+// validation, the core timing model, and the bench harness.
+type Descriptor struct {
+	// ID is the scheme's stable identifier.
+	ID Scheme
+	// Name is the paper's name for the scheme (unique across the
+	// registry; used in figure columns and artifacts).
+	Name string
+	// Encrypted reports whether the scheme encrypts memory.
+	Encrypted bool
+	// WriteThrough reports whether every data write to NVM carries its
+	// counter write (subject to CounterPersistInterval below).
+	WriteThrough bool
+	// SelectiveAtomicity persists counters atomically only for explicit
+	// flushes (the SCA extension), leaving eviction counters dirty.
+	SelectiveAtomicity bool
+	// CWC enables locality-aware counter write coalescing.
+	CWC bool
+	// Placement is the scheme's default counter-line placement.
+	Placement Placement
+	// CounterPersistInterval relaxes counter persistence on the
+	// write-through path: the counter write is enqueued only when the
+	// line's minor counter is a multiple of the interval (Osiris's
+	// stop-loss). 0 or 1 means strict (every update persists).
+	CounterPersistInterval int
+	// Mode is the functional machine design this scheme corresponds to
+	// — the crash/recovery behaviour backing the timing claims.
+	Mode Mode
+	// Extended marks schemes beyond the paper's figures; they appear in
+	// Extended() but not Paper().
+	Extended bool
+}
+
+// ModeInfo is one functional machine design's crash-state policy plus
+// its Table 1 recoverability expectations.
+type ModeInfo struct {
+	// ID is the mode's stable identifier.
+	ID Mode
+	// Name is the display name (unique across the registry; used in
+	// crash-fuzzer and fault-sweep artifacts).
+	Name string
+	// Encrypted reports whether the mode encrypts NVM contents.
+	Encrypted bool
+	// WriteThrough persists the counter with every data flush.
+	WriteThrough bool
+	// Register appends the data+counter pair atomically through the
+	// two-line register (Figure 7); without it the counter lands first,
+	// opening Figure 6's crash window.
+	Register bool
+	// Battery flushes dirty counters to NVM on power loss (write-back
+	// designs only).
+	Battery bool
+	// CounterPersistInterval relaxes counter persistence as in
+	// Descriptor; > 1 selects the tagged (Osiris) flush path.
+	CounterPersistInterval int
+	// Tagged stores a per-line integrity tag with every flush so
+	// recovery can probe lost counters against it.
+	Tagged bool
+	// Table1 is the mode's expected recoverability per workload name:
+	// true means every crash point must recover to a transaction
+	// boundary; false means at least one crash point must corrupt.
+	Table1 map[string]bool
+	// Table1Default is the expectation for workloads without a Table1
+	// row (conformance tests require rows for every evaluation
+	// workload, so this only covers ad-hoc workloads).
+	Table1Default bool
+}
+
+var (
+	schemes     = map[Scheme]Descriptor{}
+	schemeNames = map[string]Scheme{}
+	schemeOrder []Scheme
+
+	modes     = map[Mode]ModeInfo{}
+	modeNames = map[string]Mode{}
+	modeOrder []Mode
+)
+
+// Register adds a scheme descriptor to the registry. Registration order
+// defines Paper()/Extended() order. Duplicate IDs or names are
+// programming errors and panic at init time.
+func Register(d Descriptor) {
+	if _, dup := schemes[d.ID]; dup {
+		panic(fmt.Sprintf("scheme: duplicate registration of %d (%s)", int(d.ID), d.Name))
+	}
+	if prev, dup := schemeNames[d.Name]; dup {
+		panic(fmt.Sprintf("scheme: name %q already registered for %d", d.Name, int(prev)))
+	}
+	schemes[d.ID] = d
+	schemeNames[d.Name] = d.ID
+	schemeOrder = append(schemeOrder, d.ID)
+}
+
+// RegisterMode adds a functional mode to the registry. Registration
+// order defines Modes() order — the order the crash fuzzer and fault
+// sweep report in.
+func RegisterMode(mi ModeInfo) {
+	if _, dup := modes[mi.ID]; dup {
+		panic(fmt.Sprintf("scheme: duplicate mode registration of %d (%s)", int(mi.ID), mi.Name))
+	}
+	if prev, dup := modeNames[mi.Name]; dup {
+		panic(fmt.Sprintf("scheme: mode name %q already registered for %d", mi.Name, int(prev)))
+	}
+	modes[mi.ID] = mi
+	modeNames[mi.Name] = mi.ID
+	modeOrder = append(modeOrder, mi.ID)
+}
+
+// Lookup returns a scheme's descriptor.
+func Lookup(s Scheme) (Descriptor, bool) {
+	d, ok := schemes[s]
+	return d, ok
+}
+
+// LookupMode returns a mode's policy.
+func LookupMode(m Mode) (ModeInfo, bool) {
+	mi, ok := modes[m]
+	return mi, ok
+}
+
+// Registered reports whether the scheme is in the registry.
+// config.Validate rejects configurations whose scheme is not.
+func Registered(s Scheme) bool {
+	_, ok := schemes[s]
+	return ok
+}
+
+// ModeRegistered reports whether the mode is in the registry.
+func ModeRegistered(m Mode) bool {
+	_, ok := modes[m]
+	return ok
+}
+
+// Paper lists the registered non-extension schemes in registration
+// order — the order the paper's figures plot them.
+func Paper() []Scheme {
+	out := make([]Scheme, 0, len(schemeOrder))
+	for _, s := range schemeOrder {
+		if !schemes[s].Extended {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Extended lists every registered scheme: the paper's, then this
+// repository's extensions, each group in registration order.
+func Extended() []Scheme {
+	out := Paper()
+	for _, s := range schemeOrder {
+		if schemes[s].Extended {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Modes lists every registered functional mode in registration order
+// (Table 1 order plus the baselines).
+func Modes() []Mode {
+	return append([]Mode(nil), modeOrder...)
+}
+
+// String returns the registered name of the scheme, or a numeric
+// placeholder for unregistered values.
+func (s Scheme) String() string {
+	if d, ok := schemes[s]; ok {
+		return d.Name
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// Encrypted reports whether the scheme encrypts memory. Unregistered
+// schemes report false (config.Validate rejects them before use).
+func (s Scheme) Encrypted() bool { return schemes[s].Encrypted }
+
+// WriteThrough reports whether the scheme uses a write-through counter
+// cache for data writes to NVM.
+func (s Scheme) WriteThrough() bool { return schemes[s].WriteThrough }
+
+// SelectiveAtomicity reports whether the scheme persists counters
+// atomically only for explicit flushes.
+func (s Scheme) SelectiveAtomicity() bool { return schemes[s].SelectiveAtomicity }
+
+// CWC reports whether counter write coalescing is enabled.
+func (s Scheme) CWC() bool { return schemes[s].CWC }
+
+// CounterPlacement returns the counter placement the scheme uses.
+func (s Scheme) CounterPlacement() Placement { return schemes[s].Placement }
+
+// CounterPersistInterval returns the scheme's counter-persist interval,
+// never less than 1 (strict persistence).
+func (s Scheme) CounterPersistInterval() int {
+	if n := schemes[s].CounterPersistInterval; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// Mode returns the functional machine design the scheme corresponds to.
+func (s Scheme) Mode() Mode { return schemes[s].Mode }
+
+// String returns the registered name of the mode, or a numeric
+// placeholder for unregistered values.
+func (m Mode) String() string {
+	if mi, ok := modes[m]; ok {
+		return mi.Name
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Encrypted reports whether the mode encrypts NVM contents.
+func (m Mode) Encrypted() bool { return modes[m].Encrypted }
+
+// ExpectedConsistent is Table 1's recoverability claim for a mode on a
+// workload: true means every crash point (nested ones included) must
+// recover to a transaction boundary; false means the design must
+// corrupt at least one crash point. Workloads without a registered row
+// report the mode's Table1Default.
+func ExpectedConsistent(m Mode, workload string) bool {
+	mi, ok := modes[m]
+	if !ok {
+		return true
+	}
+	if v, ok := mi.Table1[workload]; ok {
+		return v
+	}
+	return mi.Table1Default
+}

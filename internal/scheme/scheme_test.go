@@ -1,0 +1,308 @@
+// Conformance and golden-compatibility tests for the scheme registry.
+//
+// The conformance suite is what "registering a scheme" promises: unique
+// names, a registered functional mode, a Table 1 row for every
+// evaluation workload, and membership in exactly one of the paper /
+// extended sets. The golden tables pin the registry's predicates to the
+// enum-method behaviour the registry replaced, so a refactor of the
+// descriptors cannot silently change what the simulator charges.
+//
+// The file is an external test package so it can import
+// internal/workload (which depends on config and therefore on scheme)
+// without a cycle.
+package scheme_test
+
+import (
+	"testing"
+
+	"supermem/internal/scheme"
+	"supermem/internal/workload"
+)
+
+// --- Conformance suite -------------------------------------------------
+
+func TestSchemeNamesUnique(t *testing.T) {
+	seen := map[string]scheme.Scheme{}
+	for _, s := range scheme.Extended() {
+		name := s.String()
+		if name == "" {
+			t.Errorf("scheme %d has an empty name", int(s))
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("scheme name %q registered for both %d and %d", name, int(prev), int(s))
+		}
+		seen[name] = s
+	}
+}
+
+func TestModeNamesUnique(t *testing.T) {
+	seen := map[string]scheme.Mode{}
+	for _, m := range scheme.Modes() {
+		name := m.String()
+		if name == "" {
+			t.Errorf("mode %d has an empty name", int(m))
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("mode name %q registered for both %d and %d", name, int(prev), int(m))
+		}
+		seen[name] = m
+	}
+}
+
+func TestEverySchemeHasRegisteredMode(t *testing.T) {
+	for _, s := range scheme.Extended() {
+		if !scheme.ModeRegistered(s.Mode()) {
+			t.Errorf("scheme %v maps to unregistered functional mode %d", s, int(s.Mode()))
+		}
+	}
+}
+
+func TestEveryModeHasTable1RowPerWorkload(t *testing.T) {
+	for _, m := range scheme.Modes() {
+		mi, ok := scheme.LookupMode(m)
+		if !ok {
+			t.Fatalf("Modes() returned unregistered mode %d", int(m))
+		}
+		for _, w := range workload.Names {
+			if _, ok := mi.Table1[w]; !ok {
+				t.Errorf("mode %v has no Table 1 row for workload %q", m, w)
+			}
+		}
+	}
+}
+
+func TestSchemeInExactlyOneSet(t *testing.T) {
+	paper := map[scheme.Scheme]bool{}
+	for _, s := range scheme.Paper() {
+		paper[s] = true
+	}
+	for _, s := range scheme.Extended() {
+		d, ok := scheme.Lookup(s)
+		if !ok {
+			t.Fatalf("Extended() returned unregistered scheme %d", int(s))
+		}
+		if d.Extended == paper[s] {
+			t.Errorf("scheme %v: Extended=%v but Paper() membership %v", s, d.Extended, paper[s])
+		}
+	}
+	// Extended() must be a superset containing every paper scheme once.
+	count := map[scheme.Scheme]int{}
+	for _, s := range scheme.Extended() {
+		count[s]++
+	}
+	for s, n := range count {
+		if n != 1 {
+			t.Errorf("scheme %v appears %d times in Extended()", s, n)
+		}
+	}
+	for s := range paper {
+		if count[s] != 1 {
+			t.Errorf("paper scheme %v missing from Extended()", s)
+		}
+	}
+}
+
+func TestCounterPersistIntervalFloor(t *testing.T) {
+	for _, s := range scheme.Extended() {
+		if got := s.CounterPersistInterval(); got < 1 {
+			t.Errorf("%v.CounterPersistInterval() = %d, want >= 1", s, got)
+		}
+	}
+	if got := scheme.Osiris.CounterPersistInterval(); got != scheme.OsirisStopLoss {
+		t.Errorf("Osiris interval = %d, want stop-loss %d", got, scheme.OsirisStopLoss)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering an existing scheme ID did not panic")
+		}
+	}()
+	scheme.Register(scheme.Descriptor{ID: scheme.SuperMem, Name: "dup"})
+}
+
+func TestDuplicateModeNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering an existing mode name did not panic")
+		}
+	}()
+	scheme.RegisterMode(scheme.ModeInfo{ID: scheme.Mode(97), Name: "Osiris"})
+}
+
+// --- Golden compatibility tables --------------------------------------
+
+// TestGoldenSchemePredicates pins every registry-backed predicate to the
+// values the pre-registry enum methods hard-coded, over all registered
+// schemes. Editing builtin.go to disagree with the paper's figures
+// fails here, not in a downstream artifact diff.
+func TestGoldenSchemePredicates(t *testing.T) {
+	type row struct {
+		name         string
+		encrypted    bool
+		writeThrough bool
+		selective    bool
+		cwc          bool
+		placement    scheme.Placement
+		interval     int
+		mode         scheme.Mode
+	}
+	golden := map[scheme.Scheme]row{
+		scheme.Unsec:    {"Unsec", false, false, false, false, scheme.SingleBank, 1, scheme.ModeUnencrypted},
+		scheme.WB:       {"WB", true, false, false, false, scheme.SingleBank, 1, scheme.ModeWBBattery},
+		scheme.WT:       {"WT", true, true, false, false, scheme.SingleBank, 1, scheme.ModeWTRegister},
+		scheme.WTCWC:    {"WT+CWC", true, true, false, true, scheme.SingleBank, 1, scheme.ModeWTRegister},
+		scheme.WTXBank:  {"WT+XBank", true, true, false, false, scheme.XBank, 1, scheme.ModeWTRegister},
+		scheme.SuperMem: {"SuperMem", true, true, false, true, scheme.XBank, 1, scheme.ModeWTRegister},
+		scheme.SCA:      {"SCA", true, false, true, false, scheme.SingleBank, 1, scheme.ModeWTRegister},
+		scheme.Osiris:   {"Osiris", true, true, false, false, scheme.SingleBank, scheme.OsirisStopLoss, scheme.ModeOsiris},
+	}
+	all := scheme.Extended()
+	if len(all) != len(golden) {
+		t.Fatalf("registry has %d schemes, golden table has %d", len(all), len(golden))
+	}
+	for _, s := range all {
+		want, ok := golden[s]
+		if !ok {
+			t.Errorf("scheme %v not in golden table", s)
+			continue
+		}
+		if s.String() != want.name {
+			t.Errorf("%v.String() = %q, want %q", int(s), s.String(), want.name)
+		}
+		if s.Encrypted() != want.encrypted {
+			t.Errorf("%v.Encrypted() = %v, want %v", s, s.Encrypted(), want.encrypted)
+		}
+		if s.WriteThrough() != want.writeThrough {
+			t.Errorf("%v.WriteThrough() = %v, want %v", s, s.WriteThrough(), want.writeThrough)
+		}
+		if s.SelectiveAtomicity() != want.selective {
+			t.Errorf("%v.SelectiveAtomicity() = %v, want %v", s, s.SelectiveAtomicity(), want.selective)
+		}
+		if s.CWC() != want.cwc {
+			t.Errorf("%v.CWC() = %v, want %v", s, s.CWC(), want.cwc)
+		}
+		if s.CounterPlacement() != want.placement {
+			t.Errorf("%v.CounterPlacement() = %v, want %v", s, s.CounterPlacement(), want.placement)
+		}
+		if s.CounterPersistInterval() != want.interval {
+			t.Errorf("%v.CounterPersistInterval() = %d, want %d", s, s.CounterPersistInterval(), want.interval)
+		}
+		if s.Mode() != want.mode {
+			t.Errorf("%v.Mode() = %v, want %v", s, s.Mode(), want.mode)
+		}
+	}
+}
+
+// TestGoldenOrders pins the registration orders the artifacts depend
+// on: Paper() is figure-column order, Extended() appends the
+// extensions, Modes() is the crash fuzzer's report order.
+func TestGoldenOrders(t *testing.T) {
+	wantPaper := []scheme.Scheme{
+		scheme.Unsec, scheme.WB, scheme.WT,
+		scheme.WTCWC, scheme.WTXBank, scheme.SuperMem,
+	}
+	gotPaper := scheme.Paper()
+	if len(gotPaper) != len(wantPaper) {
+		t.Fatalf("Paper() = %v, want %v", gotPaper, wantPaper)
+	}
+	for i := range wantPaper {
+		if gotPaper[i] != wantPaper[i] {
+			t.Fatalf("Paper() = %v, want %v", gotPaper, wantPaper)
+		}
+	}
+	wantExt := append(wantPaper, scheme.SCA, scheme.Osiris)
+	gotExt := scheme.Extended()
+	if len(gotExt) != len(wantExt) {
+		t.Fatalf("Extended() = %v, want %v", gotExt, wantExt)
+	}
+	for i := range wantExt {
+		if gotExt[i] != wantExt[i] {
+			t.Fatalf("Extended() = %v, want %v", gotExt, wantExt)
+		}
+	}
+	wantModes := []scheme.Mode{
+		scheme.ModeUnencrypted, scheme.ModeWTRegister, scheme.ModeWTNoRegister,
+		scheme.ModeWBBattery, scheme.ModeWBNoBattery, scheme.ModeOsiris,
+	}
+	gotModes := scheme.Modes()
+	if len(gotModes) != len(wantModes) {
+		t.Fatalf("Modes() = %v, want %v", gotModes, wantModes)
+	}
+	for i := range wantModes {
+		if gotModes[i] != wantModes[i] {
+			t.Fatalf("Modes() = %v, want %v", gotModes, wantModes)
+		}
+	}
+}
+
+// TestGoldenModeNames pins the artifact-facing mode names to the
+// pre-registry machine.modeNames table.
+func TestGoldenModeNames(t *testing.T) {
+	golden := map[scheme.Mode]string{
+		scheme.ModeUnencrypted:  "Unencrypted",
+		scheme.ModeWTRegister:   "WT+Register",
+		scheme.ModeWTNoRegister: "WT-NoRegister",
+		scheme.ModeWBBattery:    "WB+Battery",
+		scheme.ModeWBNoBattery:  "WB-NoBattery",
+		scheme.ModeOsiris:       "Osiris",
+	}
+	for m, want := range golden {
+		if m.String() != want {
+			t.Errorf("mode %d String() = %q, want %q", int(m), m.String(), want)
+		}
+		if enc := m.Encrypted(); enc != (m != scheme.ModeUnencrypted) {
+			t.Errorf("mode %v Encrypted() = %v", m, enc)
+		}
+	}
+}
+
+// TestGoldenTable1 pins ExpectedConsistent to the crash fuzzer's
+// pre-registry switch: WB-NoBattery corrupts everywhere, WT-NoRegister
+// corrupts exactly on the sub-line-logged workloads (hashtable, btree),
+// everything else recovers every crash point.
+func TestGoldenTable1(t *testing.T) {
+	for _, m := range scheme.Modes() {
+		for _, w := range workload.Names {
+			want := true
+			switch {
+			case m == scheme.ModeWBNoBattery:
+				want = false
+			case m == scheme.ModeWTNoRegister && (w == "hashtable" || w == "btree"):
+				want = false
+			}
+			if got := scheme.ExpectedConsistent(m, w); got != want {
+				t.Errorf("ExpectedConsistent(%v, %s) = %v, want %v", m, w, got, want)
+			}
+		}
+	}
+	// Unregistered modes and unknown workloads keep the old permissive
+	// default so ad-hoc fuzz runs don't spuriously fail.
+	if !scheme.ExpectedConsistent(scheme.Mode(99), "array") {
+		t.Error("unregistered mode should default to consistent")
+	}
+	// WT-NoRegister's old map lookup reported false for unknown
+	// workloads; Table1Default preserves that.
+	if scheme.ExpectedConsistent(scheme.ModeWTNoRegister, "adhoc") {
+		t.Error("WT-NoRegister on an unknown workload should use its false Table1Default")
+	}
+}
+
+func TestUnregisteredLookups(t *testing.T) {
+	if scheme.Registered(scheme.Scheme(99)) {
+		t.Error("Scheme(99) should not be registered")
+	}
+	if scheme.ModeRegistered(scheme.Mode(99)) {
+		t.Error("Mode(99) should not be registered")
+	}
+	if got := scheme.Scheme(99).String(); got != "Scheme(99)" {
+		t.Errorf("unregistered scheme String() = %q", got)
+	}
+	if got := scheme.Mode(99).String(); got != "Mode(99)" {
+		t.Errorf("unregistered mode String() = %q", got)
+	}
+	if scheme.Scheme(99).Encrypted() {
+		t.Error("unregistered scheme should report Encrypted()=false (Validate rejects it first)")
+	}
+}

@@ -27,6 +27,11 @@ type Metrics struct {
 	// CoalescedWrites counts counter writes removed from the write
 	// queue by CWC (each one is an NVM write that never happened).
 	CoalescedWrites uint64
+	// DeferredCtrWrites counts counter writes skipped by relaxed
+	// counter-persistence schemes (Osiris's stop-loss): write-through
+	// data writes whose counter stayed in the cache until the next
+	// interval boundary.
+	DeferredCtrWrites uint64
 
 	// NVMReads counts line reads served by the NVM device.
 	NVMReads uint64
@@ -87,6 +92,7 @@ func (m *Metrics) Add(other Metrics) {
 	m.DataWrites += other.DataWrites
 	m.CounterWrites += other.CounterWrites
 	m.CoalescedWrites += other.CoalescedWrites
+	m.DeferredCtrWrites += other.DeferredCtrWrites
 	m.NVMReads += other.NVMReads
 	m.WQStallCycles += other.WQStallCycles
 	m.ReadStallCycles += other.ReadStallCycles

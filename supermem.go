@@ -80,6 +80,11 @@ const (
 	// atomicity (write-back counters persisted atomically only on
 	// explicit flushes), approximating Liu et al.'s design.
 	SCA = config.SCA
+	// Osiris is this repository's relaxed counter-persistence baseline
+	// (Ye et al.): counters enqueue only every stop-loss-th update, and
+	// post-crash recovery probes candidate counters against per-line
+	// integrity tags.
+	Osiris = config.Osiris
 )
 
 // Counter placement policies (Figure 8).
@@ -98,7 +103,7 @@ func DefaultConfig() Config { return config.Default() }
 // Schemes lists the paper's evaluated schemes in figure order.
 func Schemes() []Scheme { return config.AllSchemes() }
 
-// ExtendedSchemes adds this repository's extra baselines (SCA).
+// ExtendedSchemes adds this repository's extra baselines (SCA, Osiris).
 func ExtendedSchemes() []Scheme { return config.ExtendedSchemes() }
 
 // Workloads lists the evaluation's workload names in figure order.
@@ -334,6 +339,15 @@ func AblationTxSizeCoalescing(cfg Config, o ExperimentOpts) (*Table, error) {
 // baseline against the paper's schemes.
 func ExtensionSCA(cfg Config, o ExperimentOpts) (*Table, error) {
 	return bench.ExtensionSCA(cfg, o.internal())
+}
+
+// ExtensionOsiris compares the Osiris relaxed-counter-persistence
+// baseline against the paper's schemes: transaction latency and the
+// counter writes reaching the memory-controller queue (the traffic the
+// stop-loss interval defers, paid back as recovery probes after a
+// crash).
+func ExtensionOsiris(cfg Config, o ExperimentOpts) (latency, writes *Table, err error) {
+	return bench.ExtensionOsiris(cfg, o.internal())
 }
 
 // CrashMode selects the persistence design of the byte-accurate crash

@@ -187,7 +187,7 @@ func TestSCAExtensionOrdering(t *testing.T) {
 		t.Fatalf("counter writes not ordered: WB=%d SCA=%d WT=%d",
 			wb.CounterWrites, sca.CounterWrites, wt.CounterWrites)
 	}
-	if len(supermem.ExtendedSchemes()) != 7 {
+	if len(supermem.ExtendedSchemes()) != 8 {
 		t.Fatalf("ExtendedSchemes = %v", supermem.ExtendedSchemes())
 	}
 }
