@@ -84,6 +84,9 @@ func main() {
 		eventsMax    = flag.Int("events-max", 1<<20, "trace event buffer cap per traced cell")
 		hist         = flag.Bool("hist", false, "collect per-cell latency histograms (printed, and embedded in -json artifacts)")
 		obsWindow    = flag.Uint64("obs-window", 0, "observability series window in cycles (0 = default 4096)")
+		parallelEng  = flag.Bool("parallel-engine", false, "use the bank-partitioned event engine (config.ParallelEngine; output is byte-identical)")
+		perfAppend   = flag.String("perf-append", "", "append this run's headline wall times to the given perf-trajectory JSON file (e.g. BENCH_perf.json)")
+		perfLabel    = flag.String("perf-label", "", "free-form label recorded with -perf-append (e.g. a commit subject)")
 	)
 	flag.Parse()
 
@@ -102,6 +105,7 @@ func main() {
 	}
 	opts.Parallel = *parallel
 	cfg := supermem.DefaultConfig()
+	cfg.ParallelEngine = *parallelEng
 
 	// Each experiment collects its printed tables so -json can emit the
 	// same data as a machine-readable artifact.
@@ -123,6 +127,8 @@ func main() {
 		sizes = []int{*txBytes}
 	}
 
+	var walls []perfExperiment
+
 	run := func(name string, fn func() error) {
 		collected, collectedText = nil, ""
 		// A fresh collector per experiment so trace files and histogram
@@ -143,6 +149,7 @@ func main() {
 			os.Exit(1)
 		}
 		wall := time.Since(start)
+		walls = append(walls, perfExperiment{Name: name, WallMillis: wall.Milliseconds()})
 		hits, miss := supermem.TraceCacheStats()
 		dh, dm := hits-hits0, miss-miss0
 		if dh+dm > 0 {
@@ -306,6 +313,77 @@ func main() {
 			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "osiris", "faultsweep", "all"}, ", "))
 		os.Exit(2)
 	}
+	if *perfAppend != "" {
+		appendPerf(*perfAppend, perfRun{
+			Date:           time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+			Label:          *perfLabel,
+			GoVersion:      runtime.Version(),
+			Parallel:       *parallel,
+			ParallelEngine: *parallelEng,
+			Transactions:   opts.Transactions,
+			Experiments:    walls,
+		})
+	}
+}
+
+// perfSchema versions the perf-trajectory file; CI diffs it.
+const perfSchema = 1
+
+// perfExperiment is one experiment's headline wall time within a run.
+type perfExperiment struct {
+	Name       string `json:"name"`
+	WallMillis int64  `json:"wall_ms"`
+}
+
+// perfRun is one appended record in the perf-trajectory file: the
+// headline wall times of every experiment the invocation executed
+// through the standard runner (the osiris and faultsweep extensions
+// report their own timing and are not recorded).
+type perfRun struct {
+	Date           string           `json:"date"`
+	Label          string           `json:"label,omitempty"`
+	GoVersion      string           `json:"go_version"`
+	Parallel       int              `json:"parallel"`
+	ParallelEngine bool             `json:"parallel_engine"`
+	Transactions   int              `json:"transactions"`
+	Experiments    []perfExperiment `json:"experiments"`
+}
+
+// perfFile is the BENCH_perf.json trajectory: an append-only log of
+// benchmark runs across the repository's history.
+type perfFile struct {
+	Schema int       `json:"schema"`
+	Runs   []perfRun `json:"runs"`
+}
+
+// appendPerf loads (or creates) the trajectory file and appends run.
+func appendPerf(path string, run perfRun) {
+	var pf perfFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &pf); err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: parsing %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if pf.Schema != perfSchema {
+			fmt.Fprintf(os.Stderr, "supermem-bench: %s has schema %d, want %d\n", path, pf.Schema, perfSchema)
+			os.Exit(1)
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "supermem-bench: reading %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	pf.Schema = perfSchema
+	pf.Runs = append(pf.Runs, run)
+	data, err := json.MarshalIndent(pf, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: encoding %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("[appended run %d to %s]\n", len(pf.Runs), path)
 }
 
 // osirisArtifact is the machine-readable osiris-extension record. Like

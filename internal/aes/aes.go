@@ -10,7 +10,10 @@
 // hardware AES engine inside a simulator.
 package aes
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // BlockSize is the AES block size in bytes.
 const BlockSize = 16
@@ -70,6 +73,29 @@ func init() {
 	}
 }
 
+// te0..te3 are the fused T-tables: te0[b] packs the MixColumns products
+// (2·S[b], S[b], S[b], 3·S[b]) of the substituted byte into one
+// big-endian word, so one table load per state byte performs SubBytes,
+// ShiftRows (via operand selection) and MixColumns at once. te1..te3
+// are byte rotations of te0, matching each row's position in the
+// column. They are derived from the generated sbox at init time, and
+// the scalar round path (encryptScalar) remains as an independent
+// cross-check in the tests.
+var te0, te1, te2, te3 [256]uint32
+
+func init() {
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		w := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		te0[i] = w
+		te1[i] = w>>8 | w<<24
+		te2[i] = w>>16 | w<<16
+		te3[i] = w>>24 | w<<8
+	}
+}
+
 // Cipher is an expanded AES-128 key schedule.
 type Cipher struct {
 	rk [4 * (rounds + 1)]uint32 // round keys as big-endian words
@@ -99,14 +125,89 @@ func New(key []byte) (*Cipher, error) {
 	return c, nil
 }
 
+// sched caches expanded key schedules. A grid run builds thousands of
+// machines over a handful of simulation keys, and a Cipher is immutable
+// after New, so the expansion work (and the 176-byte schedule itself)
+// can be shared across every machine and every recovery successor.
+var sched sync.Map // [KeySize]byte -> *Cipher
+
+// Shared returns the expanded schedule for key, reusing a previously
+// expanded Cipher when one exists. The returned Cipher must be treated
+// as read-only (Encrypt never mutates it).
+func Shared(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("aes: invalid key size %d, want %d", len(key), KeySize)
+	}
+	var k [KeySize]byte
+	copy(k[:], key)
+	if c, ok := sched.Load(k); ok {
+		return c.(*Cipher), nil
+	}
+	c, err := New(key)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := sched.LoadOrStore(k, c)
+	return actual.(*Cipher), nil
+}
+
 func subWord(w uint32) uint32 {
 	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
 		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
 }
 
 // Encrypt computes dst = AES-128(src). dst and src must be 16 bytes and
-// may overlap exactly.
+// may overlap exactly. It runs the fused T-table path; the scalar
+// FIPS-197 round functions are kept as encryptScalar and cross-checked
+// in the tests.
 func (c *Cipher) Encrypt(dst, src []byte) {
+	if len(src) < BlockSize || len(dst) < BlockSize {
+		panic("aes: block too short")
+	}
+	src = src[:16] // one bounds check for the loads below
+	s0 := uint32(src[0])<<24 | uint32(src[1])<<16 | uint32(src[2])<<8 | uint32(src[3])
+	s1 := uint32(src[4])<<24 | uint32(src[5])<<16 | uint32(src[6])<<8 | uint32(src[7])
+	s2 := uint32(src[8])<<24 | uint32(src[9])<<16 | uint32(src[10])<<8 | uint32(src[11])
+	s3 := uint32(src[12])<<24 | uint32(src[13])<<16 | uint32(src[14])<<8 | uint32(src[15])
+
+	s0 ^= c.rk[0]
+	s1 ^= c.rk[1]
+	s2 ^= c.rk[2]
+	s3 ^= c.rk[3]
+
+	var t0, t1, t2, t3 uint32
+	k := 4
+	for round := 1; round < rounds; round++ {
+		t0 = te0[s0>>24] ^ te1[s1>>16&0xff] ^ te2[s2>>8&0xff] ^ te3[s3&0xff] ^ c.rk[k]
+		t1 = te0[s1>>24] ^ te1[s2>>16&0xff] ^ te2[s3>>8&0xff] ^ te3[s0&0xff] ^ c.rk[k+1]
+		t2 = te0[s2>>24] ^ te1[s3>>16&0xff] ^ te2[s0>>8&0xff] ^ te3[s1&0xff] ^ c.rk[k+2]
+		t3 = te0[s3>>24] ^ te1[s0>>16&0xff] ^ te2[s1>>8&0xff] ^ te3[s2&0xff] ^ c.rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+
+	// Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+	s0 = uint32(sbox[t0>>24])<<24 | uint32(sbox[t1>>16&0xff])<<16 | uint32(sbox[t2>>8&0xff])<<8 | uint32(sbox[t3&0xff])
+	s1 = uint32(sbox[t1>>24])<<24 | uint32(sbox[t2>>16&0xff])<<16 | uint32(sbox[t3>>8&0xff])<<8 | uint32(sbox[t0&0xff])
+	s2 = uint32(sbox[t2>>24])<<24 | uint32(sbox[t3>>16&0xff])<<16 | uint32(sbox[t0>>8&0xff])<<8 | uint32(sbox[t1&0xff])
+	s3 = uint32(sbox[t3>>24])<<24 | uint32(sbox[t0>>16&0xff])<<16 | uint32(sbox[t1>>8&0xff])<<8 | uint32(sbox[t2&0xff])
+	s0 ^= c.rk[4*rounds]
+	s1 ^= c.rk[4*rounds+1]
+	s2 ^= c.rk[4*rounds+2]
+	s3 ^= c.rk[4*rounds+3]
+
+	dst = dst[:16]
+	dst[0], dst[1], dst[2], dst[3] = byte(s0>>24), byte(s0>>16), byte(s0>>8), byte(s0)
+	dst[4], dst[5], dst[6], dst[7] = byte(s1>>24), byte(s1>>16), byte(s1>>8), byte(s1)
+	dst[8], dst[9], dst[10], dst[11] = byte(s2>>24), byte(s2>>16), byte(s2>>8), byte(s2)
+	dst[12], dst[13], dst[14], dst[15] = byte(s3>>24), byte(s3>>16), byte(s3>>8), byte(s3)
+}
+
+// encryptScalar is the straightforward FIPS-197 implementation
+// (SubBytes, ShiftRows, MixColumns, AddRoundKey over a column-major
+// byte state). The tests cross-check every Encrypt output against it,
+// so the T-table fusion can never silently diverge from the spec.
+func (c *Cipher) encryptScalar(dst, src []byte) {
 	if len(src) < BlockSize || len(dst) < BlockSize {
 		panic("aes: block too short")
 	}

@@ -169,11 +169,121 @@ func TestMixColumnsVector(t *testing.T) {
 	}
 }
 
+// TestTTableMatchesScalar cross-checks the fused T-table Encrypt
+// against the scalar FIPS-197 round functions on random keys and
+// blocks, so the two in-package paths can never diverge.
+func TestTTableMatchesScalar(t *testing.T) {
+	f := func(key [16]byte, block [16]byte) bool {
+		c, err := New(key[:])
+		if err != nil {
+			return false
+		}
+		fast := make([]byte, 16)
+		slow := make([]byte, 16)
+		c.Encrypt(fast, block[:])
+		c.encryptScalar(slow, block[:])
+		return bytes.Equal(fast, slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTTableConstruction verifies the derived tables against their
+// defining products for every byte.
+func TestTTableConstruction(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		s2 := xtime(s)
+		s3 := s2 ^ s
+		want := uint32(s2)<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(s3)
+		if te0[i] != want {
+			t.Fatalf("te0[%#x] = %#x, want %#x", i, te0[i], want)
+		}
+		for r, tab := range []*[256]uint32{&te1, &te2, &te3} {
+			rot := uint(8 * (r + 1))
+			if got, w := tab[i], want>>rot|want<<(32-rot); got != w {
+				t.Fatalf("te%d[%#x] = %#x, want %#x", r+1, i, got, w)
+			}
+		}
+	}
+}
+
+func TestSharedReusesSchedule(t *testing.T) {
+	key := make([]byte, 16)
+	key[0] = 0xab
+	c1, err := Shared(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Shared(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("Shared returned distinct ciphers for the same key")
+	}
+	// The shared schedule must encrypt exactly like a private one.
+	priv, _ := New(key)
+	in := mustHex(t, "00112233445566778899aabbccddeeff")
+	a, b := make([]byte, 16), make([]byte, 16)
+	c1.Encrypt(a, in)
+	priv.Encrypt(b, in)
+	if !bytes.Equal(a, b) {
+		t.Fatal("shared schedule disagrees with a fresh one")
+	}
+	if _, err := Shared(make([]byte, 15)); err == nil {
+		t.Fatal("Shared accepted a bad key size")
+	}
+}
+
+func TestSharedKeyCopied(t *testing.T) {
+	key := make([]byte, 16)
+	key[5] = 9
+	c1, _ := Shared(key)
+	key[5] = 10 // caller mutates its buffer after the call
+	c2, _ := Shared(append([]byte(nil), 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0))
+	if c1 != c2 {
+		t.Fatal("Shared keyed the cache by the caller's live buffer")
+	}
+}
+
 func BenchmarkEncrypt(b *testing.B) {
 	c, _ := New(make([]byte, 16))
 	buf := make([]byte, 16)
 	b.SetBytes(16)
 	for i := 0; i < b.N; i++ {
 		c.Encrypt(buf, buf)
+	}
+}
+
+// BenchmarkEncryptScalar is the pre-T-table baseline, kept so the
+// speedup of the fused path stays visible in one run.
+func BenchmarkEncryptScalar(b *testing.B) {
+	c, _ := New(make([]byte, 16))
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.encryptScalar(buf, buf)
+	}
+}
+
+func BenchmarkKeyExpansion(b *testing.B) {
+	key := make([]byte, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSharedSchedule(b *testing.B) {
+	key := make([]byte, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Shared(key); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

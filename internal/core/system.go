@@ -77,6 +77,96 @@ type coreState struct {
 	txStart uint64
 	done    bool
 	m       stats.Metrics
+
+	// Pre-allocated event objects and write-group scratch. A core
+	// executes one op at a time (the next step is scheduled only after
+	// every write group of the current op is accepted), so one step
+	// event, one op job, and one group buffer per core make the whole
+	// per-op control flow allocation-free.
+	step stepEv
+	job  opJob
+	gb   groupBuilder
+}
+
+// stepEv schedules a core's next trace op (sim.EventObj).
+type stepEv struct {
+	s *System
+	c *coreState
+}
+
+// Fire implements sim.EventObj.
+func (e *stepEv) Fire(now uint64) { e.s.step(e.c, now) }
+
+// opJob walks one op's write groups through the controller
+// sequentially: it is both the event that starts the enqueues after the
+// op's latency (sim.EventObj) and the continuation invoked as each
+// group is accepted (memctrl.Acceptor).
+type opJob struct {
+	s      *System
+	c      *coreState
+	at     uint64 // dispatch time of the current group
+	i      int
+	groups [][]memctrl.Entry
+}
+
+// Fire implements sim.EventObj.
+func (j *opJob) Fire(now uint64) {
+	j.at = now
+	j.dispatch()
+}
+
+func (j *opJob) dispatch() {
+	if j.i == len(j.groups) {
+		j.s.eng.AtObj(j.at, &j.c.step)
+		return
+	}
+	if err := j.s.mc.EnqueueTo(j.at, j.groups[j.i], j); err != nil {
+		// The persist paths only build 1- or 2-entry groups, so this is
+		// an internal invariant break; stop the core and surface the
+		// error from Run.
+		j.s.runErr = err
+		j.c.done = true
+	}
+}
+
+// Accepted implements memctrl.Acceptor: the current group entered the
+// ADR domain; charge the stall and move to the next group.
+func (j *opJob) Accepted(now uint64) {
+	j.c.m.WQStallCycles += now - j.at
+	j.s.rec.Observe(obs.HistWQStall, now-j.at)
+	j.at = now
+	j.i++
+	j.dispatch()
+}
+
+// groupBuilder accumulates one op's write groups in two reusable
+// per-core buffers: a flat entry array and the group slices pointing
+// into it. Entries are immutable once added and the buffers are reset
+// only when the core starts its next op — after every group of the
+// previous op has been accepted (copied into the write queue) — so the
+// controller never observes a recycled buffer.
+type groupBuilder struct {
+	entries []memctrl.Entry
+	groups  [][]memctrl.Entry
+}
+
+func (g *groupBuilder) reset() {
+	g.entries = g.entries[:0]
+	g.groups = g.groups[:0]
+}
+
+// add1 appends a single-entry group (a bare data or counter write).
+func (g *groupBuilder) add1(e memctrl.Entry) {
+	n := len(g.entries)
+	g.entries = append(g.entries, e)
+	g.groups = append(g.groups, g.entries[n:n+1:n+1])
+}
+
+// add2 appends an atomic data+counter pair (the register of Figure 7).
+func (g *groupBuilder) add2(a, b memctrl.Entry) {
+	n := len(g.entries)
+	g.entries = append(g.entries, a, b)
+	g.groups = append(g.groups, g.entries[n:n+2:n+2])
 }
 
 // NewSystem builds a system from the configuration.
@@ -92,21 +182,39 @@ func NewSystem(cfg config.Config) (*System, error) {
 	}
 	s.dev = nvm.NewDevice(cfg)
 	s.layout = s.dev.Layout()
+	if cfg.ParallelEngine {
+		// Bank-partitioned engine: per-bank sub-heaps for the write
+		// queue's retire/retry events, with the minimum cross-bank
+		// latency as the parallel-stepping lookahead. Serial merged
+		// stepping keeps results byte-identical to the global heap.
+		s.eng.SetPartitions(cfg.Banks)
+		if cfg.ReadCycles < cfg.WriteCycles {
+			s.eng.SetLookahead(cfg.ReadCycles)
+		} else {
+			s.eng.SetLookahead(cfg.WriteCycles)
+		}
+	}
 	mc, err := memctrl.New(s.eng, s.dev, cfg.WriteQueueEntries, cfg.CWC(), &s.m)
 	if err != nil {
 		return nil, err
 	}
 	s.mc = mc
+	if cfg.ParallelEngine {
+		s.mc.SetPartitioned(true)
+	}
 	s.mc.SetResilience(cfg.ReadRetryLimit, cfg.ReadRetryBackoff, cfg.BankQuarantineThreshold)
 	s.l3 = cache.New("L3", cfg.L3)
 	s.ctrCache = cache.New("ctrcache", cfg.CounterCache)
 	s.ctrStore = ctr.NewStore()
 	for i := 0; i < cfg.Cores; i++ {
-		s.cores = append(s.cores, &coreState{
+		c := &coreState{
 			id: i,
 			l1: cache.New(fmt.Sprintf("L1.%d", i), cfg.L1),
 			l2: cache.New(fmt.Sprintf("L2.%d", i), cfg.L2),
-		})
+		}
+		c.step = stepEv{s: s, c: c}
+		c.job = opJob{s: s, c: c}
+		s.cores = append(s.cores, c)
 	}
 	return s, nil
 }
@@ -159,8 +267,7 @@ func (s *System) Run(sources []trace.Source) (stats.Metrics, error) {
 	}
 	for i, c := range s.cores {
 		c.src = sources[i]
-		cc := c
-		s.eng.At(0, func(now uint64) { s.step(cc, now) })
+		s.eng.AtObj(0, &c.step)
 	}
 	s.eng.Run()
 	// Flush the write queue's lazy tail so every accepted write reaches
@@ -210,20 +317,17 @@ func (s *System) step(c *coreState, now uint64) {
 		c.done = true
 		return
 	}
-	next := func(at uint64) {
-		s.eng.At(at, func(n uint64) { s.step(c, n) })
-	}
 	switch op.Kind {
 	case trace.Compute:
-		next(now + op.Arg)
+		s.eng.AtObj(now+op.Arg, &c.step)
 	case trace.Fence:
 		// Flushes block until accepted into the ADR write queue, so
 		// ordering is already enforced; the fence itself costs a cycle.
-		next(now + 1)
+		s.eng.AtObj(now+1, &c.step)
 	case trace.TxBegin:
 		c.inTx = true
 		c.txStart = now
-		next(now)
+		s.eng.AtObj(now, &c.step)
 	case trace.TxEnd:
 		if c.inTx {
 			c.m.Transactions++
@@ -231,7 +335,7 @@ func (s *System) step(c *coreState, now uint64) {
 			s.rec.Observe(obs.HistTxLatency, now-c.txStart)
 			c.inTx = false
 		}
-		next(now)
+		s.eng.AtObj(now, &c.step)
 	case trace.Reset:
 		c.m.WQStallCycles = 0
 		c.m.ReadStallCycles = 0
@@ -246,69 +350,56 @@ func (s *System) step(c *coreState, now uint64) {
 			// keep the full timeline.
 			s.rec.ResetHists()
 		}
-		next(now)
+		s.eng.AtObj(now, &c.step)
 	case trace.Read:
-		lat, groups := s.readPath(c, now, nvm.LineAddr(op.Addr), false)
-		s.finishOp(c, now, lat, groups, next)
+		c.gb.reset()
+		lat := s.readPath(c, now, nvm.LineAddr(op.Addr), false)
+		s.finishOp(c, now, lat)
 	case trace.Write:
-		lat, groups := s.writeHit(c, now, nvm.LineAddr(op.Addr))
-		s.finishOp(c, now, lat, groups, next)
+		c.gb.reset()
+		lat := s.writeHit(c, now, nvm.LineAddr(op.Addr))
+		s.finishOp(c, now, lat)
 	case trace.Flush:
-		lat, groups := s.flushPath(c, now, nvm.LineAddr(op.Addr))
-		s.finishOp(c, now, lat, groups, next)
+		c.gb.reset()
+		lat := s.flushPath(c, now, nvm.LineAddr(op.Addr))
+		s.finishOp(c, now, lat)
 	default:
 		panic(fmt.Sprintf("core: unknown op kind %v", op.Kind))
 	}
 }
 
-// finishOp charges the op's latency, then performs its write-queue
-// enqueues sequentially (each may stall on a full queue), and finally
-// schedules the next op.
-func (s *System) finishOp(c *coreState, now, lat uint64, groups [][]memctrl.Entry, next func(uint64)) {
+// finishOp charges the op's latency, then performs the write-queue
+// enqueues accumulated in the core's group buffer sequentially (each
+// may stall on a full queue), and finally schedules the next op.
+func (s *System) finishOp(c *coreState, now, lat uint64) {
 	t := now + lat
-	if len(groups) == 0 {
-		next(t)
+	if len(c.gb.groups) == 0 {
+		s.eng.AtObj(t, &c.step)
 		return
 	}
-	var run func(at uint64, i int)
-	run = func(at uint64, i int) {
-		if i == len(groups) {
-			next(at)
-			return
-		}
-		err := s.mc.Enqueue(at, groups[i], func(accepted uint64) {
-			c.m.WQStallCycles += accepted - at
-			s.rec.Observe(obs.HistWQStall, accepted-at)
-			run(accepted, i+1)
-		})
-		if err != nil {
-			// The persist paths only build 1- or 2-entry groups, so this
-			// is an internal invariant break; stop the core and surface
-			// the error from Run.
-			s.runErr = err
-			c.done = true
-		}
-	}
-	s.eng.At(t, func(at uint64) { run(at, 0) })
+	c.job.i = 0
+	c.job.groups = c.gb.groups
+	s.eng.AtObj(t, &c.job)
 }
 
 // readPath performs a load of the line at addr, returning the
-// core-visible latency and any write-queue groups produced by evictions.
-// fillDirty makes the line enter L1 dirty (write-allocate for stores).
-func (s *System) readPath(c *coreState, now, line uint64, fillDirty bool) (lat uint64, groups [][]memctrl.Entry) {
+// core-visible latency; write-queue groups produced by evictions are
+// appended to the core's group buffer. fillDirty makes the line enter
+// L1 dirty (write-allocate for stores).
+func (s *System) readPath(c *coreState, now, line uint64, fillDirty bool) (lat uint64) {
 	lat = s.cfg.L1.LatencyCycles
 	if c.l1.Access(line, fillDirty) {
-		return lat, nil
+		return lat
 	}
 	lat += s.cfg.L2.LatencyCycles
 	if c.l2.Access(line, false) {
-		groups = append(groups, s.fillUp(c, line, fillDirty)...)
-		return lat, groups
+		s.fillUp(c, line, fillDirty)
+		return lat
 	}
 	lat += s.cfg.L3.LatencyCycles
 	if s.l3.Access(line, false) {
-		groups = append(groups, s.fillUp(c, line, fillDirty)...)
-		return lat, groups
+		s.fillUp(c, line, fillDirty)
+		return lat
 	}
 	// Memory read: the data read and the OTP generation proceed in
 	// parallel (Figure 2b); the load completes when both are done.
@@ -316,8 +407,7 @@ func (s *System) readPath(c *coreState, now, line uint64, fillDirty bool) (lat u
 	dataDone := s.mc.ReadLine(reqAt, line)
 	readyAt := dataDone
 	if s.cfg.Scheme.Encrypted() {
-		ctrReady, g := s.counterForRead(c, reqAt, line)
-		groups = append(groups, g...)
+		ctrReady := s.counterForRead(c, reqAt, line)
 		if otpReady := ctrReady + s.cfg.AESCycles; otpReady > readyAt {
 			readyAt = otpReady
 		}
@@ -326,73 +416,71 @@ func (s *System) readPath(c *coreState, now, line uint64, fillDirty bool) (lat u
 	s.rec.Observe(obs.HistReadStall, readyAt-reqAt)
 	// Fill the hierarchy: L3 then L2 then L1.
 	if v, ev := s.l3.Fill(line, false); ev && v.Dirty {
-		groups = append(groups, s.persistLine(c, readyAt, v.Addr, true)...)
+		s.persistLine(c, readyAt, v.Addr)
 	}
-	groups = append(groups, s.fillUp(c, line, fillDirty)...)
-	return readyAt - now, groups
+	s.fillUp(c, line, fillDirty)
+	return readyAt - now
 }
 
 // fillUp installs the line into L2 and L1, cascading dirty victims
 // downwards. A dirty L2 victim lands in L3; a dirty L3 victim must be
 // persisted to NVM.
-func (s *System) fillUp(c *coreState, line uint64, dirty bool) (groups [][]memctrl.Entry) {
+func (s *System) fillUp(c *coreState, line uint64, dirty bool) {
 	if v, ev := c.l2.Fill(line, false); ev && v.Dirty {
 		if v3, ev3 := s.l3.Fill(v.Addr, true); ev3 && v3.Dirty {
-			groups = append(groups, s.persistLine(c, s.eng.Now(), v3.Addr, true)...)
+			s.persistLine(c, s.eng.Now(), v3.Addr)
 		}
 	}
 	if v, ev := c.l1.Fill(line, dirty); ev && v.Dirty {
 		if v2, ev2 := c.l2.Fill(v.Addr, true); ev2 && v2.Dirty {
 			if v3, ev3 := s.l3.Fill(v2.Addr, true); ev3 && v3.Dirty {
-				groups = append(groups, s.persistLine(c, s.eng.Now(), v3.Addr, true)...)
+				s.persistLine(c, s.eng.Now(), v3.Addr)
 			}
 		}
 	}
-	return groups
 }
 
 // writeHit performs a store: a write-allocate load followed by marking
 // the line dirty in L1.
-func (s *System) writeHit(c *coreState, now, line uint64) (uint64, [][]memctrl.Entry) {
+func (s *System) writeHit(c *coreState, now, line uint64) uint64 {
 	return s.readPath(c, now, line, true)
 }
 
 // flushPath implements clwb: if the line is dirty anywhere it is cleaned
 // in place and written back to NVM through the secure write path.
-func (s *System) flushPath(c *coreState, now, line uint64) (lat uint64, groups [][]memctrl.Entry) {
+func (s *System) flushPath(c *coreState, now, line uint64) (lat uint64) {
 	lat = s.cfg.L1.LatencyCycles
 	dirty := c.l1.Clean(line)
 	dirty = c.l2.Clean(line) || dirty
 	dirty = s.l3.Clean(line) || dirty
 	if !dirty {
-		return lat, nil
+		return lat
 	}
-	plat, pgroups := s.persistLatency(c, now+lat, line)
-	return lat + plat, pgroups
+	return lat + s.persistLatency(c, now+lat, line)
 }
 
-// persistLine is the eviction-side persist path: it produces the write
+// persistLine is the eviction-side persist path: it appends the write
 // groups for a dirty line leaving the cache hierarchy. Counter fetch
 // time is not charged to the core (writeback buffers hide it), but the
 // counter read still consumes NVM bank bandwidth.
-func (s *System) persistLine(c *coreState, t, line uint64, _ bool) [][]memctrl.Entry {
-	_, groups := s.securePersist(c, t, line, false)
-	return groups
+func (s *System) persistLine(c *coreState, t, line uint64) {
+	s.securePersist(c, t, line, false)
 }
 
 // persistLatency is the flush-side persist path: the core waits for the
 // counter lookup and encryption before the flush can be appended
 // (Figure 7: Enc, Sto, App).
-func (s *System) persistLatency(c *coreState, t, line uint64) (uint64, [][]memctrl.Entry) {
+func (s *System) persistLatency(c *coreState, t, line uint64) uint64 {
 	return s.securePersist(c, t, line, true)
 }
 
-// securePersist builds the NVM write(s) for one data line under the
-// configured scheme. charge controls whether counter-fetch and AES
-// latency are core-visible.
-func (s *System) securePersist(c *coreState, t, line uint64, charge bool) (lat uint64, groups [][]memctrl.Entry) {
+// securePersist appends the NVM write(s) for one data line under the
+// configured scheme to the core's group buffer. charge controls whether
+// counter-fetch and AES latency are core-visible.
+func (s *System) securePersist(c *coreState, t, line uint64, charge bool) (lat uint64) {
 	if !s.cfg.Scheme.Encrypted() {
-		return 0, [][]memctrl.Entry{{{Addr: line}}}
+		c.gb.add1(memctrl.Entry{Addr: line})
+		return 0
 	}
 	// Write-through schemes persist the counter with every data write;
 	// the SCA extension does so only on the flush path (charge=true is
@@ -407,18 +495,18 @@ func (s *System) securePersist(c *coreState, t, line uint64, charge bool) (lat u
 	} else {
 		done := s.mc.ReadLine(t, ctrAddr)
 		lat = done - t
-		groups = append(groups, s.fillCtr(ctrAddr, !writeThrough)...)
+		s.fillCtr(c, ctrAddr, !writeThrough)
 	}
 
 	// Advance the minor counter; overflow forces page re-encryption.
 	page := s.layout.PageOf(line)
 	cl := s.ctrStore.Get(page)
 	if cl.Bump(ctr.LineIndex(line)) {
-		relat, regroups := s.reencryptPage(c, t+lat, page)
+		relat := s.reencryptPage(c, t+lat, page)
 		if charge {
 			lat += relat
 		}
-		return lat, append(groups, regroups...)
+		return lat
 	}
 
 	lat += s.cfg.AESCycles // encrypt the line with the fresh OTP
@@ -432,39 +520,39 @@ func (s *System) securePersist(c *coreState, t, line uint64, charge bool) (lat u
 			// the next interval boundary; only the data line enqueues.
 			s.m.DeferredCtrWrites++
 			s.rec.Count(obs.SeriesCtrDeferred, t, 1)
-			groups = append(groups, []memctrl.Entry{{Addr: line}})
+			c.gb.add1(memctrl.Entry{Addr: line})
 		} else {
 			// The register (Figure 7) appends the encrypted data line and
 			// its counter line atomically.
-			groups = append(groups, []memctrl.Entry{{Addr: line}, {Addr: ctrAddr, Counter: true}})
+			c.gb.add2(memctrl.Entry{Addr: line}, memctrl.Entry{Addr: ctrAddr, Counter: true})
 		}
 	} else {
 		// Write-back: the counter stays dirty in the counter cache and
 		// reaches NVM only on eviction.
-		groups = append(groups, []memctrl.Entry{{Addr: line}})
+		c.gb.add1(memctrl.Entry{Addr: line})
 	}
-	return lat, groups
+	return lat
 }
 
 // counterForRead makes the counter of a data line available for OTP
-// generation, returning when it is ready and any eviction writes.
-func (s *System) counterForRead(c *coreState, t, line uint64) (readyAt uint64, groups [][]memctrl.Entry) {
+// generation, returning when it is ready (eviction writes are appended
+// to the core's group buffer).
+func (s *System) counterForRead(c *coreState, t, line uint64) (readyAt uint64) {
 	ctrAddr := s.layout.CounterLineAddr(line, s.placement)
 	if s.ctrCache.Access(ctrAddr, false) {
-		return t + s.cfg.CounterCache.LatencyCycles, nil
+		return t + s.cfg.CounterCache.LatencyCycles
 	}
 	done := s.mc.ReadLine(t, ctrAddr)
-	groups = s.fillCtr(ctrAddr, false)
-	return done, groups
+	s.fillCtr(c, ctrAddr, false)
+	return done
 }
 
 // fillCtr installs a counter line in the counter cache; a displaced
 // dirty counter line (write-back schemes only) must be written to NVM.
-func (s *System) fillCtr(ctrAddr uint64, dirty bool) (groups [][]memctrl.Entry) {
+func (s *System) fillCtr(c *coreState, ctrAddr uint64, dirty bool) {
 	if v, ev := s.ctrCache.Fill(ctrAddr, dirty); ev && v.Dirty {
-		groups = append(groups, []memctrl.Entry{{Addr: v.Addr, Counter: true}})
+		c.gb.add1(memctrl.Entry{Addr: v.Addr, Counter: true})
 	}
-	return groups
 }
 
 // reencryptPage models Section 3.4.4: every line of the page is read
@@ -472,7 +560,7 @@ func (s *System) fillCtr(ctrAddr uint64, dirty bool) (groups [][]memctrl.Entry) 
 // counter, and written back, tracked by the ADR-protected RSR. The
 // counter store has already been reset by Bump; the write groups are
 // data+counter pairs so CWC collapses the 64 counter writes.
-func (s *System) reencryptPage(c *coreState, t uint64, page uint64) (lat uint64, groups [][]memctrl.Entry) {
+func (s *System) reencryptPage(c *coreState, t uint64, page uint64) (lat uint64) {
 	s.m.Reencryptions++
 	base := page * config.PageSize
 	ctrAddr := s.layout.CounterLineAddr(base, s.placement)
@@ -484,12 +572,12 @@ func (s *System) reencryptPage(c *coreState, t uint64, page uint64) (lat uint64,
 				readsDone = done
 			}
 		}
-		groups = append(groups, []memctrl.Entry{{Addr: line}, {Addr: ctrAddr, Counter: true}})
+		c.gb.add2(memctrl.Entry{Addr: line}, memctrl.Entry{Addr: ctrAddr, Counter: true})
 	}
 	s.m.ReencryptLines += config.LinesPerPage
 	// The AES pipeline re-encrypts the 64 lines back to back once the
 	// last read returns.
 	lat = (readsDone - t) + s.cfg.AESCycles + config.LinesPerPage
 	s.rec.SpanArg(obs.TrackRSR, "re-encrypt page", t, t+lat, "page", page)
-	return lat, groups
+	return lat
 }

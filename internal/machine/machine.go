@@ -66,6 +66,10 @@ type Machine struct {
 	// rather than comparing mode IDs.
 	pol    scheme.ModeInfo
 	cipher *aes.Cipher
+	// pads memoizes one-time pads by (line, major, minor); shared with
+	// successors across Recover, since pads depend only on the key
+	// schedule (see padcache.go).
+	pads *padCache
 
 	// nvmData holds persisted data lines: ciphertext under encrypted
 	// modes, plaintext under Unencrypted. Absent lines read as zero
@@ -137,7 +141,10 @@ func New(mode Mode, key []byte, opts ...Option) (*Machine, error) {
 	if !ok {
 		return nil, fmt.Errorf("machine: mode %v is not registered (see internal/scheme)", mode)
 	}
-	cipher, err := aes.New(key)
+	// The expanded schedule is immutable and shared across every machine
+	// keyed alike (a crash sweep builds thousands over one key), so reuse
+	// it rather than re-running key expansion per machine.
+	cipher, err := aes.Shared(key)
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +152,7 @@ func New(mode Mode, key []byte, opts ...Option) (*Machine, error) {
 		mode:     mode,
 		pol:      pol,
 		cipher:   cipher,
+		pads:     newPadCache(cipher, 0),
 		nvmData:  make(map[uint64]line),
 		nvmCtr:   make(map[uint64]ctr.Line),
 		nvmTag:   make(map[uint64]uint32),
@@ -265,7 +273,7 @@ func (m *Machine) decryptNVM(base uint64) line {
 	page := base / config.PageSize
 	cl := m.currentCounter(page)
 	li := ctr.LineIndex(base)
-	pad := ctr.OTP(m.cipher, base, cl.Major, cl.Minors[li])
+	pad := m.pads.otp(base, cl.Major, cl.Minors[li])
 	return ctr.XorLine(raw, pad)
 }
 
@@ -322,7 +330,7 @@ func (m *Machine) CLWB(addr uint64) {
 		cl = m.currentCounter(page)
 	}
 	cl.Bump(li)
-	pad := ctr.OTP(m.cipher, base, cl.Major, cl.Minors[li])
+	pad := m.pads.otp(base, cl.Major, cl.Minors[li])
 	cipherText := ctr.XorLine(plain, pad)
 
 	// The counter cache advances only when the corresponding append to
@@ -379,12 +387,17 @@ func (m *Machine) reencryptPage(page uint64) bool {
 	m.rsr = &rsrState{page: page, oldMajor: old.Major, oldLine: old}
 	newLine := ctr.Line{Major: old.Major + 1}
 	base := page * config.PageSize
+	// Batch-generate the window's 64 fresh pads (major+1, minor 0) up
+	// front, as the pipelined AES engine would; the sweep below then
+	// runs entirely on cache hits, and a crash mid-sweep leaves the
+	// remaining pads resident for finishReencryption.
+	m.pads.precomputePage(base, newLine.Major, 0)
 	for i := 0; i < config.LinesPerPage; i++ {
 		la := base + uint64(i)*config.LineSize
 		// Plaintext of the line under the old counter (or the dirty
 		// cached copy).
 		plain := m.loadLine(la)
-		pad := ctr.OTP(m.cipher, la, newLine.Major, 0)
+		pad := m.pads.otp(la, newLine.Major, 0)
 		if !m.stepPersist() {
 			return false
 		}
@@ -449,6 +462,7 @@ func (m *Machine) Recover(opts ...Option) *Machine {
 		mode:     m.mode,
 		pol:      m.pol,
 		cipher:   m.cipher,
+		pads:     m.pads, // pads are key-pure; successors reuse the warm cache
 		nvmData:  make(map[uint64]line, len(m.nvmData)),
 		nvmCtr:   make(map[uint64]ctr.Line, len(m.nvmCtr)),
 		nvmTag:   make(map[uint64]uint32, len(m.nvmTag)),
@@ -510,9 +524,9 @@ func (m *Machine) finishReencryption() {
 		if r.done[i] {
 			continue
 		}
-		oldPad := ctr.OTP(m.cipher, la, r.oldLine.Major, r.oldLine.Minors[i])
+		oldPad := m.pads.otp(la, r.oldLine.Major, r.oldLine.Minors[i])
 		plain := ctr.XorLine(m.readData(la), oldPad)
-		newPad := ctr.OTP(m.cipher, la, newLine.Major, 0)
+		newPad := m.pads.otp(la, newLine.Major, 0)
 		if !m.stepPersist() {
 			return
 		}

@@ -40,7 +40,7 @@ func (m *Machine) osirisCLWB(base uint64, plain line) {
 		cl = m.currentCounter(page)
 	}
 	cl.Bump(li)
-	pad := ctr.OTP(m.cipher, base, cl.Major, cl.Minors[li])
+	pad := m.pads.otp(base, cl.Major, cl.Minors[li])
 	if !m.stepPersist() {
 		return
 	}
@@ -98,7 +98,7 @@ func (n *Machine) recoverOsirisCounters() {
 			}
 			cand.Minors[li] += uint8(delta)
 			n.osirisProbes++
-			pad := ctr.OTP(n.cipher, base, cand.Major, cand.Minors[li])
+			pad := n.pads.otp(base, cand.Major, cand.Minors[li])
 			if lineTag(ctr.XorLine(cipherText, pad)) == want {
 				if delta != 0 {
 					upd := n.nvmCtr[page]

@@ -1,0 +1,99 @@
+package machine
+
+import (
+	"supermem/internal/aes"
+	"supermem/internal/config"
+	"supermem/internal/ctr"
+)
+
+// padCache memoizes one-time pads by (line address, major, minor). A
+// pad is a pure function of the key schedule and that triple (Figure 3:
+// OTP = AES(key, address, counter)), so caching is exact: a hit returns
+// byte-identical output to re-running the four AES blocks. The wins are
+// the workload's natural re-reads (decrypting a line after persisting
+// it uses the same counter) and RSR re-encryption storms, where all 64
+// lines of a page take fresh pads under (major+1, minor 0) that the
+// recovery path then reuses.
+//
+// The cache is direct-mapped over a power-of-two slot array with a
+// deterministic hash — no randomized eviction, so byte-level runs stay
+// reproducible and successors may share the cache across Recover
+// (pads do not depend on any volatile machine state).
+type padCache struct {
+	cipher *aes.Cipher
+	slots  []padSlot
+	mask   uint64
+	hits   uint64
+	misses uint64
+}
+
+type padKey struct {
+	line  uint64
+	major uint64
+	minor uint8
+}
+
+type padSlot struct {
+	key   padKey
+	valid bool
+	pad   ctr.Pad
+}
+
+// padCacheSlots is the default cache size: 4096 slots × ~88 B ≈ 360 KiB
+// per machine key — small next to the functional NVM maps, large enough
+// that a page re-encryption (64 pads) plus the hot working set stays
+// resident.
+const padCacheSlots = 4096
+
+func newPadCache(cipher *aes.Cipher, slots int) *padCache {
+	if slots <= 0 {
+		slots = padCacheSlots
+	}
+	if slots&(slots-1) != 0 {
+		panic("machine: pad cache size must be a power of two")
+	}
+	return &padCache{cipher: cipher, slots: make([]padSlot, slots), mask: uint64(slots - 1)}
+}
+
+func (p *padCache) slot(k padKey) *padSlot {
+	// Mix the three key fields with distinct odd constants
+	// (splitmix64-style) so line-stride access patterns spread across
+	// the table.
+	h := k.line*0x9E3779B97F4A7C15 ^ k.major*0xBF58476D1CE4E5B9 ^ (uint64(k.minor)+1)*0x94D049BB133111EB
+	h ^= h >> 29
+	return &p.slots[h&p.mask]
+}
+
+// otp returns the pad for (lineAddr, major, minor), computing and
+// caching it on a miss.
+func (p *padCache) otp(lineAddr, major uint64, minor uint8) ctr.Pad {
+	k := padKey{line: lineAddr, major: major, minor: minor}
+	s := p.slot(k)
+	if s.valid && s.key == k {
+		p.hits++
+		return s.pad
+	}
+	p.misses++
+	s.key = k
+	s.valid = true
+	s.pad = ctr.OTP(p.cipher, lineAddr, major, minor)
+	return s.pad
+}
+
+// precomputePage batch-fills the pads for every line of the page
+// containing base under one counter window (major, minor) — the batched
+// form a pipelined AES engine would run during RSR re-encryption, where
+// all 64 lines take pads under (major+1, minor 0) back to back. Pads
+// already resident are not recomputed.
+func (p *padCache) precomputePage(base, major uint64, minor uint8) {
+	start := base &^ (config.PageSize - 1)
+	for i := uint64(0); i < config.LinesPerPage; i++ {
+		p.otp(start+i*config.LineSize, major, minor)
+	}
+}
+
+// PadCacheStats reports the machine's pad cache hits and misses
+// (diagnostics and benchmarks).
+func (m *Machine) PadCacheStats() (hits, misses uint64) {
+	return m.pads.hits, m.pads.misses
+}

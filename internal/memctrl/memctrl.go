@@ -13,6 +13,7 @@ package memctrl
 import (
 	"fmt"
 
+	"supermem/internal/arena"
 	"supermem/internal/nvm"
 	"supermem/internal/obs"
 	"supermem/internal/sim"
@@ -32,9 +33,31 @@ const issueWindow = 8
 
 type queued struct {
 	Entry
-	bank   int // cached BankOf(Addr)
+	c      *Controller // owner, so a queued is its own retire event
+	bank   int         // cached BankOf(Addr)
 	issued bool
 	spanID uint64 // trace id for the admission..retirement async span
+}
+
+// Fire implements sim.EventObj: a queued entry's completion event is
+// the entry itself, so issuing a write schedules no closure.
+func (q *queued) Fire(now uint64) { q.c.retire(now, q) }
+
+// retryEv is bank b's pre-allocated issue-retry event. All retry state
+// (armed flag, time) lives in Controller.retries; the object exists
+// only so scheduleRetry never allocates.
+type retryEv struct {
+	c    *Controller
+	bank int
+}
+
+// Fire implements sim.EventObj.
+func (r *retryEv) Fire(now uint64) {
+	c := r.c
+	if c.retries[r.bank].armed && c.retries[r.bank].at == now {
+		c.retries[r.bank].armed = false
+	}
+	c.tryIssue(now)
 }
 
 // bankRetry tracks the already-scheduled issue retry for one bank. The
@@ -46,9 +69,24 @@ type bankRetry struct {
 	armed bool
 }
 
+// Acceptor receives the cycle at which a stalled or immediate enqueue
+// was accepted into the ADR domain. It is an interface rather than a
+// func so hot callers (internal/core's per-core op jobs) can pass one
+// long-lived object instead of allocating a closure per flush.
+type Acceptor interface {
+	Accepted(now uint64)
+}
+
+// AcceptFunc adapts a plain function to Acceptor (func values are
+// pointer-shaped, so the adaptation itself does not allocate).
+type AcceptFunc func(now uint64)
+
+// Accepted implements Acceptor.
+func (f AcceptFunc) Accepted(now uint64) { f(now) }
+
 type waiter struct {
 	entries []Entry
-	accept  func(now uint64)
+	accept  Acceptor
 }
 
 // Controller is the memory controller write path.
@@ -87,6 +125,16 @@ type Controller struct {
 	writeDone []uint64
 	rec       *obs.Recorder
 	nextID    uint64 // queue-entry span ids
+	// entryPool recycles queued objects (retire returns them) and
+	// retryEvs holds one pre-allocated retry event per bank, so the
+	// steady-state enqueue/issue/retire cycle performs zero allocations.
+	entryPool arena.Pool[queued]
+	retryEvs  []retryEv
+	// partitioned routes retire and retry events to per-bank engine
+	// sub-heaps (engine partition = bank+1). Firing order is unchanged —
+	// the engine merges partitions in global (at, seq) order — so this
+	// is a storage-layout choice, gated by config.ParallelEngine.
+	partitioned bool
 
 	// Read-retry and bank-quarantine policy (Section "fault injection"
 	// of EXPERIMENTS.md). retryLimit is total read attempts per line;
@@ -114,7 +162,7 @@ func New(eng *sim.Engine, dev *nvm.Device, capacity int, cwc bool, m *stats.Metr
 		hi = 2
 	}
 	lo := capacity / 8
-	return &Controller{
+	c := &Controller{
 		eng:       eng,
 		dev:       dev,
 		capacity:  capacity,
@@ -130,7 +178,12 @@ func New(eng *sim.Engine, dev *nvm.Device, capacity int, cwc bool, m *stats.Metr
 		retryLimit:  1,
 		failures:    make([]int, dev.Banks()),
 		quarantined: make([]bool, dev.Banks()),
-	}, nil
+	}
+	c.retryEvs = make([]retryEv, dev.Banks())
+	for b := range c.retryEvs {
+		c.retryEvs[b] = retryEv{c: c, bank: b}
+	}
+	return c, nil
 }
 
 // SetResilience configures the read-retry and quarantine policy: limit
@@ -148,6 +201,17 @@ func (c *Controller) SetResilience(limit int, backoff uint64, threshold int) {
 
 // SetRecorder attaches an observability recorder (nil disables).
 func (c *Controller) SetRecorder(r *obs.Recorder) { c.rec = r }
+
+// SetPartitioned routes each bank's retire and retry events to engine
+// partition bank+1 instead of the global heap. The engine must be
+// configured with at least Banks partitions first (sim.SetPartitions);
+// results are byte-identical either way.
+func (c *Controller) SetPartitioned(on bool) {
+	if on && c.eng.Partitions() < c.dev.Banks() {
+		panic("memctrl: SetPartitioned needs one engine partition per bank")
+	}
+	c.partitioned = on
+}
 
 // Len returns the current write queue occupancy.
 func (c *Controller) Len() int { return len(c.queue) }
@@ -167,12 +231,20 @@ func (c *Controller) PendingWaiters() int { return len(c.waiters) }
 // It returns an error — without enqueueing anything — for group sizes
 // the register cannot produce (0 or more than 2 entries).
 func (c *Controller) Enqueue(now uint64, entries []Entry, accept func(now uint64)) error {
+	return c.EnqueueTo(now, entries, AcceptFunc(accept))
+}
+
+// EnqueueTo is Enqueue with an Acceptor instead of a callback — the
+// allocation-free form the core's op jobs use. If the group stalls, the
+// controller holds entries (without copying) until acceptance; callers
+// reusing entry buffers must not mutate them before Accepted fires.
+func (c *Controller) EnqueueTo(now uint64, entries []Entry, accept Acceptor) error {
 	if len(entries) == 0 || len(entries) > 2 {
 		return fmt.Errorf("memctrl: enqueue of %d entries; the register holds at most a data+counter pair", len(entries))
 	}
 	if len(c.waiters) == 0 && c.fits(entries) {
 		c.admit(now, entries)
-		accept(now)
+		accept.Accepted(now)
 		return nil
 	}
 	c.waiters = append(c.waiters, waiter{entries: entries, accept: accept})
@@ -230,9 +302,12 @@ func (c *Controller) admit(now uint64, entries []Entry) {
 					c.rec.AsyncEnd(obs.TrackQueue, entrySpan(true), victim.spanID, now)
 					c.rec.InstantArg(obs.TrackQueue, "cwc remove", now, "addr", victim.Addr)
 				}
+				// Never issued, so no retire event holds it: recycle.
+				c.entryPool.Put(victim)
 			}
 		}
-		q := &queued{Entry: e, bank: c.effBank(now, c.dev.Layout().BankOf(e.Addr))}
+		q := c.entryPool.Get()
+		*q = queued{Entry: e, c: c, bank: c.effBank(now, c.dev.Layout().BankOf(e.Addr))}
 		c.queue = append(c.queue, q)
 		if !(c.cwc && e.Counter) {
 			c.pending[q.bank]++
@@ -351,7 +426,11 @@ func (c *Controller) issue(now uint64, q *queued) {
 	} else {
 		c.m.DataWrites++
 	}
-	c.eng.At(done, func(at uint64) { c.retire(at, q) })
+	if c.partitioned {
+		c.eng.AtObjPart(q.bank+1, done, q)
+	} else {
+		c.eng.AtObj(done, q)
+	}
 }
 
 // scheduleRetry arms one issue retry at the moment the bank frees, if
@@ -369,12 +448,11 @@ func (c *Controller) scheduleRetry(bank int) {
 		return
 	}
 	c.retries[bank] = bankRetry{at: freeAt, armed: true}
-	c.eng.At(freeAt, func(at uint64) {
-		if c.retries[bank].armed && c.retries[bank].at == at {
-			c.retries[bank].armed = false
-		}
-		c.tryIssue(at)
-	})
+	if c.partitioned {
+		c.eng.AtObjPart(bank+1, freeAt, &c.retryEvs[bank])
+	} else {
+		c.eng.AtObj(freeAt, &c.retryEvs[bank])
+	}
 }
 
 // retire removes a completed entry from the queue, admits waiters that
@@ -390,6 +468,9 @@ func (c *Controller) retire(now uint64, q *queued) {
 				c.rec.AsyncEnd(obs.TrackQueue, entrySpan(q.Counter), q.spanID, now)
 				c.rec.Gauge(obs.SeriesWQOccupancy, now, float64(len(c.queue)))
 			}
+			// q left the queue and its retire event has fired; nothing
+			// references it anymore, so it can be recycled.
+			c.entryPool.Put(q)
 			break
 		}
 	}
@@ -398,7 +479,7 @@ func (c *Controller) retire(now uint64, q *queued) {
 		w := c.waiters[0]
 		c.waiters = c.waiters[1:]
 		c.admit(now, w.entries)
-		w.accept(now)
+		w.accept.Accepted(now)
 	}
 	c.tryIssue(now)
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"supermem/internal/arena"
 )
 
 // Tracks group trace events into named rows (Chrome trace "threads").
@@ -62,10 +64,13 @@ type event struct {
 }
 
 // TraceBuffer accumulates trace events up to a cap; events past the cap
-// are counted as dropped rather than silently discarded.
+// are counted as dropped rather than silently discarded. Events live in
+// a chunked arena buffer: a traced cell records up to a million 64-byte
+// events, and chunked growth writes each exactly once instead of
+// re-copying the whole buffer at every slice doubling.
 type TraceBuffer struct {
 	max     int
-	events  []event
+	events  arena.Chunks[event]
 	dropped int
 }
 
@@ -77,15 +82,15 @@ func newTraceBuffer(max int) *TraceBuffer {
 }
 
 func (b *TraceBuffer) push(e event) {
-	if len(b.events) >= b.max {
+	if b.events.Len() >= b.max {
 		b.dropped++
 		return
 	}
-	b.events = append(b.events, e)
+	b.events.Append(e)
 }
 
 // Len returns the number of buffered events.
-func (b *TraceBuffer) Len() int { return len(b.events) }
+func (b *TraceBuffer) Len() int { return b.events.Len() }
 
 // Dropped returns the number of events discarded past the cap.
 func (b *TraceBuffer) Dropped() int { return b.dropped }
@@ -126,16 +131,16 @@ func WriteTrace(w io.Writer, sections ...TraceSection) error {
 		meta(s.PID, "process_name", "name", s.Name, 0)
 		tracks := map[Track]bool{}
 		if s.Rec.trace != nil {
-			for _, e := range s.Rec.trace.events {
+			s.Rec.trace.events.Each(func(e *event) {
 				if !tracks[e.tid] {
 					tracks[e.tid] = true
 					meta(s.PID, "thread_name", "name", trackName(e.tid), e.tid)
 				}
-			}
-			for _, e := range s.Rec.trace.events {
+			})
+			s.Rec.trace.events.Each(func(e *event) {
 				comma()
-				writeEvent(bw, s.PID, e)
-			}
+				writeEvent(bw, s.PID, *e)
+			})
 		}
 		for _, c := range s.Rec.counterTracks() {
 			for i, v := range c.values {

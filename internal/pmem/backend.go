@@ -13,6 +13,7 @@ package pmem
 import (
 	"sort"
 
+	"supermem/internal/arena"
 	"supermem/internal/config"
 	"supermem/internal/trace"
 )
@@ -40,14 +41,20 @@ type Marker interface {
 // operation as a trace op. Loads return previously stored bytes (zeroes
 // when untouched), so data-structure code runs for real while the op
 // stream drives the timing simulator.
+//
+// A large workload build appends millions of ops and materializes
+// hundreds of thousands of lines, so the op stream lives in a chunked
+// arena buffer (no copy-and-double growth) and lines are carved from a
+// block allocator (one GC object per ~1000 lines instead of one each).
 type TracingBackend struct {
-	mem map[uint64][]byte // line base -> 64-byte slice
-	ops []trace.Op
+	mem   map[uint64][]byte // line base -> 64-byte slice
+	ops   arena.Chunks[trace.Op]
+	lines *arena.Bytes
 }
 
 // NewTracingBackend returns an empty tracing backend.
 func NewTracingBackend() *TracingBackend {
-	return &TracingBackend{mem: make(map[uint64][]byte)}
+	return &TracingBackend{mem: make(map[uint64][]byte), lines: arena.NewBytes(0)}
 }
 
 func lineBase(addr uint64) uint64 { return addr &^ (config.LineSize - 1) }
@@ -55,7 +62,7 @@ func lineBase(addr uint64) uint64 { return addr &^ (config.LineSize - 1) }
 func (b *TracingBackend) lineFor(base uint64) []byte {
 	l, ok := b.mem[base]
 	if !ok {
-		l = make([]byte, config.LineSize)
+		l = b.lines.Alloc(config.LineSize)
 		b.mem[base] = l
 	}
 	return l
@@ -67,7 +74,7 @@ func (b *TracingBackend) Load(addr uint64, n int) []byte {
 	i := 0
 	for i < n {
 		base := lineBase(addr + uint64(i))
-		b.ops = append(b.ops, trace.Op{Kind: trace.Read, Addr: base})
+		b.ops.Append(trace.Op{Kind: trace.Read, Addr: base})
 		off := int(addr + uint64(i) - base)
 		i += copy(out[i:], b.lineFor(base)[off:])
 	}
@@ -78,7 +85,7 @@ func (b *TracingBackend) Load(addr uint64, n int) []byte {
 func (b *TracingBackend) Store(addr uint64, data []byte) {
 	for len(data) > 0 {
 		base := lineBase(addr)
-		b.ops = append(b.ops, trace.Op{Kind: trace.Write, Addr: base})
+		b.ops.Append(trace.Op{Kind: trace.Write, Addr: base})
 		off := int(addr - base)
 		n := copy(b.lineFor(base)[off:], data)
 		addr += uint64(n)
@@ -88,19 +95,20 @@ func (b *TracingBackend) Store(addr uint64, data []byte) {
 
 // CLWB implements Backend.
 func (b *TracingBackend) CLWB(addr uint64) {
-	b.ops = append(b.ops, trace.Op{Kind: trace.Flush, Addr: lineBase(addr)})
+	b.ops.Append(trace.Op{Kind: trace.Flush, Addr: lineBase(addr)})
 }
 
 // SFence implements Backend.
 func (b *TracingBackend) SFence() {
-	b.ops = append(b.ops, trace.Op{Kind: trace.Fence})
+	b.ops.Append(trace.Op{Kind: trace.Fence})
 }
 
 // Mark implements Marker.
-func (b *TracingBackend) Mark(op trace.Op) { b.ops = append(b.ops, op) }
+func (b *TracingBackend) Mark(op trace.Op) { b.ops.Append(op) }
 
-// Ops returns the recorded op stream.
-func (b *TracingBackend) Ops() []trace.Op { return b.ops }
+// Ops returns the recorded op stream as one contiguous slice (a single
+// exact-size copy out of the chunked buffer).
+func (b *TracingBackend) Ops() []trace.Op { return b.ops.Flatten() }
 
 // Lines returns the sorted base addresses of every memory line the
 // backend has ever materialized — the address space the crash fuzzer
@@ -115,7 +123,7 @@ func (b *TracingBackend) Lines() []uint64 {
 }
 
 // Source returns the recorded stream as a trace source.
-func (b *TracingBackend) Source() trace.Source { return trace.NewSliceSource(b.ops) }
+func (b *TracingBackend) Source() trace.Source { return trace.NewSliceSource(b.ops.Flatten()) }
 
 // Mark helpers shared by the transaction layer.
 func mark(b Backend, op trace.Op) {

@@ -10,10 +10,21 @@ import "fmt"
 // Event is a callback scheduled to fire at a simulated time.
 type Event func(now uint64)
 
+// EventObj is the allocation-free alternative to Event: a pre-allocated
+// object whose Fire method is the callback. Scheduling a closure
+// allocates it on the heap every time; scheduling a long-lived object
+// through AtObj stores only its interface header in the heap item, so
+// components that schedule millions of events (write-queue retires,
+// per-core step chains) reuse one object instead of minting closures.
+type EventObj interface {
+	Fire(now uint64)
+}
+
 type item struct {
 	at  uint64
 	seq uint64
 	fn  Event
+	obj EventObj
 }
 
 func (a item) less(b item) bool {
@@ -74,10 +85,13 @@ func (h *eventHeap) pop() item {
 //
 // The zero value is ready to use.
 type Engine struct {
-	now      uint64
-	seq      uint64
-	heap     eventHeap
-	observer func(now uint64)
+	now       uint64
+	seq       uint64
+	heap      eventHeap
+	parts     []partition // optional bank sub-heaps (see partition.go)
+	inBatch   bool        // inside a RunParallel batch
+	lookahead uint64      // RunParallel horizon bound; 0 = next global event
+	observer  func(now uint64)
 }
 
 // SetObserver installs a hook invoked after each fired event with the
@@ -101,18 +115,48 @@ func (e *Engine) At(at uint64, fn Event) {
 // After schedules fn to run delay cycles from now.
 func (e *Engine) After(delay uint64, fn Event) { e.At(e.now+delay, fn) }
 
+// AtObj schedules ev.Fire to run at the absolute cycle at. It is the
+// zero-allocation counterpart of At: ev is typically a pre-allocated
+// per-component object, and the same object may be scheduled at several
+// times at once (each heap item holds its own copy of the interface).
+func (e *Engine) AtObj(at uint64, ev EventObj) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	e.seq++
+	e.heap.push(item{at: at, seq: e.seq, obj: ev})
+}
+
+// AfterObj schedules ev.Fire to run delay cycles from now.
+func (e *Engine) AfterObj(delay uint64, ev EventObj) { e.AtObj(e.now+delay, ev) }
+
 // Pending returns the number of scheduled events not yet fired.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int {
+	n := len(e.heap)
+	for i := range e.parts {
+		n += len(e.parts[i].heap)
+	}
+	return n
+}
 
 // Step fires the next event, advancing time to it. It reports whether an
-// event was fired.
+// event was fired. With partitions configured, the globally earliest
+// event across all sub-heaps fires — identical order to a single heap,
+// since seq is assigned globally at scheduling time.
 func (e *Engine) Step() bool {
+	if len(e.parts) > 0 {
+		return e.stepMerged()
+	}
 	if len(e.heap) == 0 {
 		return false
 	}
 	it := e.heap.pop()
 	e.now = it.at
-	it.fn(e.now)
+	if it.obj != nil {
+		it.obj.Fire(e.now)
+	} else {
+		it.fn(e.now)
+	}
 	if e.observer != nil {
 		e.observer(it.at)
 	}
@@ -128,7 +172,11 @@ func (e *Engine) Run() {
 // RunUntil fires events with time <= deadline. Time never advances past
 // the deadline; remaining events stay queued.
 func (e *Engine) RunUntil(deadline uint64) {
-	for len(e.heap) > 0 && e.heap[0].at <= deadline {
+	for {
+		at, ok := e.NextEventAt()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
@@ -139,8 +187,12 @@ func (e *Engine) RunUntil(deadline uint64) {
 // NextEventAt returns the time of the earliest pending event. The boolean
 // is false when the queue is empty.
 func (e *Engine) NextEventAt() (uint64, bool) {
-	if len(e.heap) == 0 {
+	src, ok := e.minSource()
+	if !ok {
 		return 0, false
 	}
-	return e.heap[0].at, true
+	if src < 0 {
+		return e.heap[0].at, true
+	}
+	return e.parts[src].heap[0].at, true
 }

@@ -105,7 +105,15 @@ func (s *SliceSource) Reset() { s.i = 0 }
 func (s *SliceSource) Len() int { return len(s.ops) }
 
 // Record drains a source into a slice (for inspection or encoding).
+// A *SliceSource is drained with one exact-size copy instead of
+// growing an output slice op by op.
 func Record(src Source) []Op {
+	if s, ok := src.(*SliceSource); ok {
+		out := make([]Op, len(s.ops)-s.i)
+		copy(out, s.ops[s.i:])
+		s.i = len(s.ops)
+		return out
+	}
 	var out []Op
 	for {
 		op, ok := src.Next()
