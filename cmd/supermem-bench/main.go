@@ -68,8 +68,8 @@ type artifact struct {
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, osiris, faultsweep, all")
-		faultStrict  = flag.Bool("fault-strict", false, "exit non-zero if the faultsweep reports silent corruption under strong ECC or a dead quarantine cell")
+		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, osiris, faultsweep, integrity, all")
+		faultStrict  = flag.Bool("fault-strict", false, "exit non-zero if the faultsweep or integrity experiments violate their detection claims (silent corruption, unflagged replays, dead quarantine cell)")
 		faultSeed    = flag.Int64("fault-seed", 0, "base seed for the faultsweep's generated plans (0 = default)")
 		csv          = flag.Bool("csv", false, "print tables as CSV instead of aligned text")
 		jsonOut      = flag.Bool("json", false, "write a BENCH_<exp>.json artifact per experiment (wall time + tables)")
@@ -308,9 +308,13 @@ func main() {
 		ran = true
 		runFaultSweep(*parallel, *faultSeed, *faultStrict, *jsonOut)
 	}
+	if want("integrity") {
+		ran = true
+		runIntegrity(*parallel, *faultStrict, *jsonOut)
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "supermem-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "osiris", "faultsweep", "all"}, ", "))
+			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "osiris", "faultsweep", "integrity", "all"}, ", "))
 		os.Exit(2)
 	}
 	if *perfAppend != "" {
@@ -475,6 +479,47 @@ func runFaultSweep(parallel int, seed int64, strict, jsonOut bool) {
 			os.Exit(1)
 		}
 		fmt.Println("faultsweep strict check passed: zero silent corruptions under strong ECC; failing bank quarantined and remapped")
+	}
+}
+
+type integrityArtifact struct {
+	Experiment string                    `json:"experiment"`
+	Result     *supermem.IntegrityResult `json:"result"`
+}
+
+// runIntegrity executes the integrity-tree experiment: the
+// counter-attack detection grid (replays must land Detected-by-tree,
+// never Silent) plus the tree write-amplification timing cells. The
+// JSON artifact carries no wall-time or parallelism fields, so serial
+// and parallel runs write byte-identical files.
+func runIntegrity(parallel int, strict, jsonOut bool) {
+	start := time.Now()
+	res, err := supermem.IntegritySweep(supermem.IntegrityOpts{Parallel: parallel})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: integrity: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	fmt.Printf("[integrity done in %s]\n\n", time.Since(start).Round(time.Millisecond))
+	if jsonOut {
+		a := integrityArtifact{Experiment: "integrity", Result: res}
+		data, err := json.MarshalIndent(a, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: encoding BENCH_integrity.json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_integrity.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: writing BENCH_integrity.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote BENCH_integrity.json]\n\n")
+	}
+	if strict {
+		if v := res.StrictViolations(); len(v) > 0 {
+			fmt.Fprintf(os.Stderr, "supermem-bench: integrity strict check FAILED:\n  %s\n", strings.Join(v, "\n  "))
+			os.Exit(1)
+		}
+		fmt.Println("integrity strict check passed: every counter replay was caught by the tree; zero silent outcomes")
 	}
 }
 

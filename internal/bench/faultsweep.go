@@ -84,6 +84,9 @@ type FaultCell struct {
 	Detected        int `json:"detected"`
 	Silent          int `json:"silent"`
 	BaselineCorrupt int `json:"baseline_corrupt"`
+	// TreeDetected counts runs where the integrity tree caught a
+	// counter attack ECC classified clean (integrity-tree modes only).
+	TreeDetected int `json:"tree_detected,omitempty"`
 	// Injected sums the media injections that fired across the runs.
 	Injected int `json:"injected"`
 }
@@ -196,6 +199,8 @@ func FaultSweep(o FaultSweepOpts) (*FaultSweepResult, error) {
 			c.Silent++
 		case crash.FaultBaselineCorrupt:
 			c.BaselineCorrupt++
+		case crash.FaultTreeDetected:
+			c.TreeDetected++
 		}
 	}
 
@@ -295,11 +300,11 @@ func (r *FaultSweepResult) StrictViolations() []string {
 func (r *FaultSweepResult) String() string {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "Fault sweep: differential fault x crash outcomes per mode and ECC profile\n")
-	fmt.Fprintf(&b, "%-16s %-8s %6s %6s %10s %9s %7s %9s %9s\n",
-		"mode", "ecc", "runs", "clean", "recovered", "detected", "silent", "baseline", "injected")
+	fmt.Fprintf(&b, "%-16s %-8s %6s %6s %10s %9s %7s %9s %5s %9s\n",
+		"mode", "ecc", "runs", "clean", "recovered", "detected", "silent", "baseline", "tree", "injected")
 	for _, c := range r.Cells {
-		fmt.Fprintf(&b, "%-16s %-8s %6d %6d %10d %9d %7d %9d %9d\n",
-			c.Mode, c.ECC, c.Runs, c.Clean, c.Recovered, c.Detected, c.Silent, c.BaselineCorrupt, c.Injected)
+		fmt.Fprintf(&b, "%-16s %-8s %6d %6d %10d %9d %7d %9d %5d %9d\n",
+			c.Mode, c.ECC, c.Runs, c.Clean, c.Recovered, c.Detected, c.Silent, c.BaselineCorrupt, c.TreeDetected, c.Injected)
 	}
 	q := r.Quarantine
 	fmt.Fprintf(&b, "\nBank quarantine cell (%s/%s, bank 0 dead, spike on bank 2):\n", q.Workload, q.Scheme)

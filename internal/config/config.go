@@ -62,6 +62,18 @@ const (
 	// recovery probes candidate counters against per-line integrity
 	// tags to rebuild the lost values.
 	Osiris = scheme.Osiris
+	// BMT is write-through encryption plus a Bonsai-Merkle-style
+	// integrity tree over the counter lines, with the full tree-update
+	// path persisted alongside every counter write (root in an on-chip
+	// ADR register).
+	BMT = scheme.BMT
+	// TriadNVM is BMT with Triad-NVM's relaxation: only the tree leaves
+	// persist with each counter write; the interior is rebuilt during
+	// recovery (cheaper writes, longer recovery).
+	TriadNVM = scheme.TriadNVM
+	// Phoenix is a persistent tree of versioned counters with
+	// Streamlining-style coalescing of the tree-update writes.
+	Phoenix = scheme.Phoenix
 )
 
 // AllSchemes lists the schemes in the order the paper's figures plot
@@ -69,8 +81,9 @@ const (
 // ExtendedSchemes).
 func AllSchemes() []Scheme { return scheme.Paper() }
 
-// ExtendedSchemes adds this repository's extra baselines (SCA, Osiris)
-// to the paper's scheme list.
+// ExtendedSchemes adds this repository's extra baselines (SCA, Osiris,
+// and the integrity-tree designs BMT, Triad-NVM, Phoenix) to the
+// paper's scheme list.
 func ExtendedSchemes() []Scheme { return scheme.Extended() }
 
 // Placement identifies the counter-line placement policy (Figure 8),

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"supermem/internal/config"
+	"supermem/internal/integrity"
+)
+
+// TestTreeWriteAmplification pins the per-persist tree traffic: a
+// full-path scheme issues Depth node writes per counter persist, the
+// leaves-only relaxation exactly one, and treeless schemes none.
+func TestTreeWriteAmplification(t *testing.T) {
+	// Three lines in three distinct pages: no coalescing opportunity
+	// and no CWC interference between counter writes.
+	lines := []uint64{0, config.PageSize, 2 * config.PageSize}
+	full := run(t, testConfig(config.BMT), writeFlush(lines...))
+	leaves := run(t, testConfig(config.TriadNVM), writeFlush(lines...))
+	base := run(t, testConfig(config.WT), writeFlush(lines...))
+
+	if want := uint64(len(lines) * integrity.Depth); full.TreeNodeWrites != want {
+		t.Errorf("BMT tree writes = %d, want %d", full.TreeNodeWrites, want)
+	}
+	if want := uint64(len(lines)); leaves.TreeNodeWrites != want {
+		t.Errorf("Triad-NVM tree writes = %d, want %d", leaves.TreeNodeWrites, want)
+	}
+	if base.TreeNodeWrites != 0 || base.TreeCoalescedWrites != 0 {
+		t.Errorf("WT produced tree writes: %+v", base)
+	}
+	// Tree nodes are metadata writes: they count toward the NVM
+	// counter-write traffic exactly once each, on top of WT's own.
+	if full.CounterWrites != base.CounterWrites+full.TreeNodeWrites {
+		t.Errorf("CounterWrites = %d, want WT's %d + %d tree writes",
+			full.CounterWrites, base.CounterWrites, full.TreeNodeWrites)
+	}
+}
+
+// TestTreeCoalescingAbsorbsRepeats: Phoenix's combining buffer absorbs
+// the repeated interior path of same-page persists, and every issued
+// node write is either persisted or coalesced.
+func TestTreeCoalescingAbsorbsRepeats(t *testing.T) {
+	// Many flushes of lines in the same page: the tree path repeats.
+	var lines []uint64
+	for i := uint64(0); i < 16; i++ {
+		lines = append(lines, i*config.LineSize)
+	}
+	coal := run(t, testConfig(config.Phoenix), writeFlush(lines...))
+	plain := run(t, testConfig(config.BMT), writeFlush(lines...))
+
+	if coal.TreeCoalescedWrites == 0 {
+		t.Fatal("Phoenix coalesced no tree writes on a same-page burst")
+	}
+	if got, want := coal.TreeNodeWrites+coal.TreeCoalescedWrites, plain.TreeNodeWrites; got != want {
+		t.Errorf("issued tree updates %d != uncoalesced count %d", got, want)
+	}
+	if coal.TreeNodeWrites >= plain.TreeNodeWrites {
+		t.Errorf("coalescing did not reduce tree writes: %d vs %d",
+			coal.TreeNodeWrites, plain.TreeNodeWrites)
+	}
+}
+
+// TestTreeWritesLandOnBanks: tree-node addresses live past the counter
+// region and must map to valid banks (the whole point of charging them
+// to the timing model), visible as recorder series traffic.
+func TestTreeWritesLandOnBanks(t *testing.T) {
+	cfg := testConfig(config.BMT)
+	cfg.Cores = 1
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lv := 0; lv < integrity.Depth; lv++ {
+		addr := sys.layout.TotalBytes + integrity.NodeOrdinal(lv, 5)*config.LineSize
+		bank := sys.layout.BankOf(addr)
+		if bank < 0 || bank >= cfg.Banks {
+			t.Fatalf("level-%d node maps to bank %d of %d", lv, bank, cfg.Banks)
+		}
+	}
+	m := run(t, cfg, writeFlush(0, config.PageSize))
+	if m.TreeNodeWrites == 0 {
+		t.Fatal("no tree writes issued")
+	}
+}

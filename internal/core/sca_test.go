@@ -70,7 +70,7 @@ func TestSCASchemeProperties(t *testing.T) {
 		t.Fatal("SCA name wrong")
 	}
 	ext := config.ExtendedSchemes()
-	if len(ext) != 8 || ext[6] != config.SCA || ext[7] != config.Osiris {
+	if len(ext) != 11 || ext[6] != config.SCA || ext[7] != config.Osiris {
 		t.Fatalf("ExtendedSchemes = %v", ext)
 	}
 }

@@ -19,9 +19,11 @@ import (
 	"supermem/internal/config"
 	"supermem/internal/ctr"
 	"supermem/internal/fault"
+	"supermem/internal/integrity"
 	"supermem/internal/memctrl"
 	"supermem/internal/nvm"
 	"supermem/internal/obs"
+	"supermem/internal/scheme"
 	"supermem/internal/sim"
 	"supermem/internal/stats"
 	"supermem/internal/trace"
@@ -53,6 +55,17 @@ type System struct {
 	// stop-loss) enqueues the counter only when the line's minor counter
 	// is a multiple of the interval.
 	ctrInterval int
+
+	// Integrity-tree write traffic (BMT/Triad-NVM/Phoenix schemes):
+	// treeNodes is how many tree-node writes ride with each counter
+	// persist (0 = no tree), treeBase is where the synthetic tree-node
+	// lines live (just past the counter region, so they land on real
+	// banks), and treeWCB is the deterministic write-combining buffer
+	// that models Streamlining-style coalescing of tree updates.
+	treeNodes    int
+	treeCoalesce bool
+	treeBase     uint64
+	treeWCB      [treeWCBSlots]uint64
 
 	// Warmup exclusion: when every core has executed a trace.Reset op,
 	// the global counters are snapshotted and subtracted from the final
@@ -182,6 +195,11 @@ func NewSystem(cfg config.Config) (*System, error) {
 	}
 	s.dev = nvm.NewDevice(cfg)
 	s.layout = s.dev.Layout()
+	if cfg.Scheme.Integrity() != scheme.IntegrityNone {
+		s.treeNodes = integrity.PersistedNodes(cfg.Scheme.TreePersist())
+		s.treeCoalesce = cfg.Scheme.TreeCoalesce()
+		s.treeBase = s.layout.TotalBytes
+	}
 	if cfg.ParallelEngine {
 		// Bank-partitioned engine: per-bank sub-heaps for the write
 		// queue's retire/retry events, with the minimum cross-bank
@@ -299,6 +317,8 @@ func (s *System) Run(sources []trace.Source) (stats.Metrics, error) {
 		m.CounterWrites -= s.snapshot.CounterWrites
 		m.CoalescedWrites -= s.snapshot.CoalescedWrites
 		m.DeferredCtrWrites -= s.snapshot.DeferredCtrWrites
+		m.TreeNodeWrites -= s.snapshot.TreeNodeWrites
+		m.TreeCoalescedWrites -= s.snapshot.TreeCoalescedWrites
 		m.NVMReads -= s.snapshot.NVMReads
 		m.Reencryptions -= s.snapshot.Reencryptions
 		m.ReencryptLines -= s.snapshot.ReencryptLines
@@ -525,6 +545,7 @@ func (s *System) securePersist(c *coreState, t, line uint64, charge bool) (lat u
 			// The register (Figure 7) appends the encrypted data line and
 			// its counter line atomically.
 			c.gb.add2(memctrl.Entry{Addr: line}, memctrl.Entry{Addr: ctrAddr, Counter: true})
+			s.persistTreeNodes(c, t, page)
 		}
 	} else {
 		// Write-back: the counter stays dirty in the counter cache and
@@ -532,6 +553,42 @@ func (s *System) securePersist(c *coreState, t, line uint64, charge bool) (lat u
 		c.gb.add1(memctrl.Entry{Addr: line})
 	}
 	return lat
+}
+
+// treeWCBSlots sizes the tree write-combining buffer; it mirrors the
+// byte-accurate model's buffer (integrity.Tree) so both count the same
+// coalescing opportunities.
+const treeWCBSlots = 16
+
+// persistTreeNodes appends the integrity-tree node writes that ride
+// with one counter persist: the leaf always, plus the interior path
+// under full tree persistence (Triad-NVM's leaves-only relaxation
+// skips it). Node writes are issued as separate single-entry groups —
+// the ADR register (Figure 7) holds the data+counter pair, and the
+// tree updates stream behind it (Streamlining) — at synthetic line
+// addresses just past the counter region, so they contend for real
+// banks. With coalescing on, a node still pending in the combining
+// buffer is absorbed instead of re-enqueued.
+func (s *System) persistTreeNodes(c *coreState, t, page uint64) {
+	if s.treeNodes == 0 {
+		return
+	}
+	leaf := page & (integrity.LeafCount - 1)
+	for lv := 0; lv < s.treeNodes; lv++ {
+		idx := leaf >> (3 * lv)
+		addr := s.treeBase + integrity.NodeOrdinal(lv, idx)*config.LineSize
+		if s.treeCoalesce {
+			slot := &s.treeWCB[(uint64(lv)*0x9E3779B97F4A7C15+idx)%treeWCBSlots]
+			if *slot == addr {
+				s.m.TreeCoalescedWrites++
+				continue
+			}
+			*slot = addr
+		}
+		s.m.TreeNodeWrites++
+		s.rec.Count(obs.SeriesTreeWrites, t, 1)
+		c.gb.add1(memctrl.Entry{Addr: addr, Counter: true})
+	}
 }
 
 // counterForRead makes the counter of a data line available for OTP
@@ -573,6 +630,7 @@ func (s *System) reencryptPage(c *coreState, t uint64, page uint64) (lat uint64)
 			}
 		}
 		c.gb.add2(memctrl.Entry{Addr: line}, memctrl.Entry{Addr: ctrAddr, Counter: true})
+		s.persistTreeNodes(c, t, page)
 	}
 	s.m.ReencryptLines += config.LinesPerPage
 	// The AES pipeline re-encrypts the 64 lines back to back once the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"supermem/internal/fault"
+	"supermem/internal/integrity"
 )
 
 // This file crosses the crash fuzzer with the media fault injector: the
@@ -37,6 +38,11 @@ const (
 	// damage is the crash mode's (e.g. WBNoBattery losing dirty
 	// counters), not the injected fault's.
 	FaultBaselineCorrupt
+	// FaultTreeDetected: the machine's integrity tree rejected a
+	// counter fetch that ECC classified clean or silent — a replayed or
+	// corrupted counter caught by the hash chain to the on-chip root,
+	// not by ECC. Only integrity-tree modes can produce this outcome.
+	FaultTreeDetected
 )
 
 var faultOutcomeNames = map[FaultOutcome]string{
@@ -45,6 +51,7 @@ var faultOutcomeNames = map[FaultOutcome]string{
 	FaultDetected:        "Detected",
 	FaultSilent:          "Silent",
 	FaultBaselineCorrupt: "BaselineCorrupt",
+	FaultTreeDetected:    "Detected-by-tree",
 }
 
 // String returns the outcome name used in reports and artifacts.
@@ -63,6 +70,13 @@ type FaultResult struct {
 	BaselineConsistent bool
 	// Stats are the injector's fire and ECC classification counters.
 	Stats fault.Stats
+	// TreeStats are the final machine's integrity-tree counters (zero
+	// for modes without a tree); RecoveryHashes is the recovery-time
+	// cost of the mode's tree-persistence level.
+	TreeStats integrity.Stats
+	// TreeBytes is the size of the tree's persisted snapshot — the NVM
+	// footprint the persistence level buys its faster recovery with.
+	TreeBytes int
 	// Outcome is the differential classification.
 	Outcome FaultOutcome
 }
@@ -86,28 +100,39 @@ func RunFault(p Params, plan fault.Plan, ecc fault.ECCConfig, crashAt, recoveryC
 		return FaultResult{}, err
 	}
 	out := FaultResult{Result: res, BaselineConsistent: base.Consistent, Stats: m.FaultStats()}
+	out.TreeStats = m.TreeStats()
+	out.TreeBytes = len(m.TreeSnapshot())
 	out.Outcome = classifyFault(out)
 	return out, nil
 }
 
 // classifyFault turns the differential evidence into an outcome. Any
-// silently-consumed corrupted read condemns the run outright; beyond
-// that, divergence is attributed to the fault only when the fault-free
-// baseline recovered cleanly at the same crash point.
+// silently-consumed corrupted read condemns the run outright — unless
+// the integrity tree flagged the counter path, in which case the
+// machine *knew*: an ECC-silent counter read the tree rejected is
+// Detected-by-tree, not Silent. Divergence is attributed to the fault
+// only when the fault-free baseline recovered cleanly at the same
+// crash point. For modes without an integrity tree CtrTreeDetected is
+// always zero and this reduces to the pre-tree classification exactly.
 func classifyFault(r FaultResult) FaultOutcome {
+	tree := r.Stats.CtrTreeDetected > 0
 	switch {
-	case r.Stats.TotalSilent() > 0:
+	case r.Stats.SilentReads > 0, r.Stats.CtrSilent > 0 && !tree:
 		return FaultSilent
 	case !r.Consistent && !r.BaselineConsistent:
 		return FaultBaselineCorrupt
 	case !r.Consistent && r.Stats.TotalDetected() > 0:
 		return FaultDetected
+	case !r.Consistent && tree:
+		return FaultTreeDetected
 	case !r.Consistent:
 		// Diverged with no ECC signal at all: the corruption slipped
 		// through unclassified, which is as silent as it gets.
 		return FaultSilent
 	case r.Stats.TotalDetected() > 0:
 		return FaultDetected
+	case tree:
+		return FaultTreeDetected
 	case r.Stats.TotalCorrected() > 0:
 		return FaultRecovered
 	default:

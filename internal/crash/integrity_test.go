@@ -1,0 +1,124 @@
+package crash
+
+import (
+	"testing"
+
+	"supermem/internal/fault"
+	"supermem/internal/machine"
+)
+
+var integrityModes = []machine.Mode{machine.BMTFull, machine.BMTLeaves, machine.Phoenix}
+
+// ctrAttackPlan is the counter-targeted mix the integrity tree exists
+// for: a rollback of a counter line to its previously persisted value
+// (valid ECC metadata — invisible to the ECC model) plus an in-place
+// corruption, spread over the early persist steps so crashes land
+// before, between, and after the injections.
+func ctrAttackPlan() fault.Plan {
+	return fault.Plan{Injections: []fault.Injection{
+		{Kind: fault.CtrReplay, Step: 3, Target: 0},
+		{Kind: fault.CtrCorrupt, Step: 5, Target: 1, Arg: 3 | 21<<8},
+	}}
+}
+
+// TestIntegrityCtrAttacksNeverSilent is the property the tentpole
+// hangs on: under every integrity mode, across crash points (including
+// no crash) and nested recovery crashes, with ECC strong OR off, a
+// replayed or corrupted counter line is never classified Silent. The
+// tree turns the one attack ECC cannot see into a detection.
+func TestIntegrityCtrAttacksNeverSilent(t *testing.T) {
+	eccs := map[string]fault.ECCConfig{"strong": fault.ECCStrong(), "off": fault.ECCOff()}
+	treeDetections := 0
+	for _, mode := range integrityModes {
+		for eccName, ecc := range eccs {
+			for _, crashAt := range []int{-1, 2, 4, 6, 8} {
+				for _, recoveryCrashAt := range []int{-1, 1} {
+					if crashAt < 0 && recoveryCrashAt >= 0 {
+						continue
+					}
+					p := Params{Mode: mode, Workload: "array", Steps: 8, Seed: 7}
+					res, err := RunFault(p, ctrAttackPlan(), ecc, crashAt, recoveryCrashAt)
+					if err != nil {
+						t.Fatalf("%v ecc=%s crash@%d/%d: %v", mode, eccName, crashAt, recoveryCrashAt, err)
+					}
+					if res.Outcome == FaultSilent {
+						t.Errorf("%v ecc=%s crash@%d/%d: counter attack classified Silent (stats %+v)",
+							mode, eccName, crashAt, recoveryCrashAt, res.Stats)
+					}
+					// Every ECC-silent counter read must carry a tree
+					// detection — that is the mechanism behind the
+					// never-Silent property, not a coincidence of plans.
+					if res.Stats.CtrSilent > 0 && res.Stats.CtrTreeDetected == 0 {
+						t.Errorf("%v ecc=%s crash@%d/%d: ECC-silent counter read with no tree flag (stats %+v)",
+							mode, eccName, crashAt, recoveryCrashAt, res.Stats)
+					}
+					if res.Stats.CtrTreeDetected > 0 {
+						treeDetections++
+					}
+				}
+			}
+		}
+	}
+	if treeDetections == 0 {
+		t.Fatal("no combination ever exercised a tree detection — the property was vacuous")
+	}
+}
+
+// TestReplayClassifiedDetectedByTree pins the new outcome end-to-end: a
+// replay-only plan under strong ECC gives the ECC model nothing to
+// flag, so whenever the rolled-back counter is consumed, the
+// classification must be Detected-by-tree — and at least one crash
+// point must reach it.
+func TestReplayClassifiedDetectedByTree(t *testing.T) {
+	plan := fault.Plan{Injections: []fault.Injection{
+		{Kind: fault.CtrReplay, Step: 3, Target: 0},
+	}}
+	for _, mode := range integrityModes {
+		sawTree := false
+		for _, crashAt := range []int{-1, 3, 5, 7} {
+			p := Params{Mode: mode, Workload: "array", Steps: 8, Seed: 7}
+			res, err := RunFault(p, plan, fault.ECCStrong(), crashAt, -1)
+			if err != nil {
+				t.Fatalf("%v crash@%d: %v", mode, crashAt, err)
+			}
+			if res.Stats.TotalDetected() != 0 {
+				t.Errorf("%v crash@%d: ECC claimed a detection for a replay (stats %+v)",
+					mode, crashAt, res.Stats)
+			}
+			if res.Stats.CtrTreeDetected > 0 {
+				sawTree = true
+				if res.Outcome != FaultTreeDetected && res.Outcome != FaultBaselineCorrupt {
+					t.Errorf("%v crash@%d: tree flagged the replay but outcome = %v",
+						mode, crashAt, res.Outcome)
+				}
+			} else if res.Outcome != FaultClean && res.Outcome != FaultBaselineCorrupt {
+				t.Errorf("%v crash@%d: unconsumed replay classified %v", mode, crashAt, res.Outcome)
+			}
+		}
+		if !sawTree {
+			t.Errorf("%v: no crash point ever consumed the replayed counter", mode)
+		}
+	}
+}
+
+// TestExpectedConsistentCoversIntegrityModes (satellite fix): the
+// Table-1 expectation matrix must answer for the integrity modes —
+// they are write-through register designs, so every workload column
+// expects consistency — and CheckTable1 must include them.
+func TestExpectedConsistentCoversIntegrityModes(t *testing.T) {
+	found := map[machine.Mode]bool{}
+	for _, mode := range AllModes {
+		found[mode] = true
+	}
+	for _, mode := range integrityModes {
+		if !found[mode] {
+			t.Fatalf("AllModes omits integrity mode %v", mode)
+		}
+		for _, wl := range []string{"array", "queue", "btree", "hashmap"} {
+			if !ExpectedConsistent(mode, wl) {
+				t.Errorf("ExpectedConsistent(%v, %s) = false; integrity modes persist write-through with a register",
+					mode, wl)
+			}
+		}
+	}
+}

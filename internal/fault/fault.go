@@ -39,6 +39,11 @@ const (
 	// CtrCorrupt flips bits of one persisted counter line — the fault
 	// that makes every data line the counter covers undecryptable.
 	CtrCorrupt
+	// CtrReplay reverts one persisted counter line to its previously
+	// persisted value, ECC metadata included: the read classifies Clean,
+	// so only an integrity tree can reject the stale counter. This is
+	// the rollback attack of the secure-NVM threat model.
+	CtrReplay
 	// BankFault makes accesses [Step, Step+count) on bank Target fail
 	// (the bank still burns service time): the transient bank fault the
 	// memory controller retries around.
@@ -55,6 +60,7 @@ var kindNames = map[Kind]string{
 	StuckAt:     "stuckat",
 	TornWrite:   "torn",
 	CtrCorrupt:  "ctrflip",
+	CtrReplay:   "ctrreplay",
 	BankFault:   "bankfault",
 	BankLatency: "banklatency",
 }
@@ -69,7 +75,7 @@ func (k Kind) String() string {
 
 // Media reports whether the kind corrupts persisted state (as opposed
 // to the timing-model bank faults).
-func (k Kind) Media() bool { return k <= CtrCorrupt }
+func (k Kind) Media() bool { return k <= CtrReplay }
 
 // LineBits is the number of bits in one memory line.
 const LineBits = config.LineSize * 8
@@ -186,6 +192,10 @@ type PlanConfig struct {
 	// flips up to CtrFlipBitsMax bits (default 1).
 	CtrFaults      int `json:"ctr_faults"`
 	CtrFlipBitsMax int `json:"ctr_flip_bits_max"`
+	// CtrReplays is the number of counter-line replay (rollback)
+	// faults. A replay carries valid ECC metadata, so ECC never sees
+	// it; only integrity-tree modes can detect these.
+	CtrReplays int `json:"ctr_replays"`
 
 	// Banks is the bank universe for the timing-model faults (required
 	// when BankFaults or LatencySpikes is set).
@@ -205,7 +215,7 @@ type PlanConfig struct {
 }
 
 func (c PlanConfig) mediaCount() int {
-	return c.BitFlips + c.StuckAts + c.TornWrites + c.CtrFaults
+	return c.BitFlips + c.StuckAts + c.TornWrites + c.CtrFaults + c.CtrReplays
 }
 
 // Validate range-checks the configuration.
@@ -217,6 +227,7 @@ func (c PlanConfig) Validate() error {
 		{"steps", c.Steps}, {"bit_flips", c.BitFlips}, {"flip_bits_max", c.FlipBitsMax},
 		{"stuck_ats", c.StuckAts}, {"torn_writes", c.TornWrites},
 		{"ctr_faults", c.CtrFaults}, {"ctr_flip_bits_max", c.CtrFlipBitsMax},
+		{"ctr_replays", c.CtrReplays},
 		{"banks", c.Banks}, {"bank_faults", c.BankFaults}, {"bank_fault_len", c.BankFaultLen},
 		{"latency_spikes", c.LatencySpikes}, {"access_horizon", c.AccessHorizon},
 	} {
@@ -287,6 +298,11 @@ func Generate(c PlanConfig) (Plan, error) {
 		p.Injections = append(p.Injections, Injection{
 			Kind: CtrCorrupt, Step: step(), Target: uint32(rng.Uint32()),
 			Arg: uint64(1+rng.Intn(ctrFlipMax)) | uint64(rng.Uint32())<<8,
+		})
+	}
+	for i := 0; i < c.CtrReplays; i++ {
+		p.Injections = append(p.Injections, Injection{
+			Kind: CtrReplay, Step: step(), Target: uint32(rng.Uint32()),
 		})
 	}
 	for i := 0; i < c.BankFaults; i++ {

@@ -38,6 +38,7 @@ type Stats struct {
 	StuckBits  int `json:"stuck_bits,omitempty"`
 	TornWrites int `json:"torn_writes,omitempty"`
 	CtrFlips   int `json:"ctr_flips,omitempty"`
+	CtrReplays int `json:"ctr_replays,omitempty"`
 
 	// Read classifications, split by data vs. counter lines.
 	CorrectedReads int `json:"corrected_reads,omitempty"`
@@ -46,6 +47,10 @@ type Stats struct {
 	CtrCorrected   int `json:"ctr_corrected,omitempty"`
 	CtrDetected    int `json:"ctr_detected,omitempty"`
 	CtrSilent      int `json:"ctr_silent,omitempty"`
+	// CtrTreeDetected counts counter fetches (or recovery root checks)
+	// the machine's integrity tree rejected — detections invisible to
+	// ECC, reported back via NoteCtrTreeDetect.
+	CtrTreeDetected int `json:"ctr_tree_detected,omitempty"`
 }
 
 // TotalCorrected sums corrected reads over data and counter lines.
@@ -91,6 +96,10 @@ type Injector struct {
 	// classification compares against.
 	shadowData map[uint64]line
 	shadowCtr  map[uint64]line
+	// ctrPrev holds each counter page's previously persisted content —
+	// the value a CtrReplay rolls the page back to (shadow included,
+	// since a replayed line carries its own valid ECC metadata).
+	ctrPrev map[uint64]line
 
 	stats Stats
 	rec   *obs.Recorder
@@ -104,6 +113,7 @@ func NewInjector(p Plan, ecc ECCConfig) *Injector {
 		stuck:      map[uint64][]stuckBit{},
 		shadowData: map[uint64]line{},
 		shadowCtr:  map[uint64]line{},
+		ctrPrev:    map[uint64]line{},
 	}
 	for _, in := range p.Media() {
 		if in.Kind == TornWrite {
@@ -228,6 +238,23 @@ func (j *Injector) fire(in Injection, mem Memory) {
 		j.stats.Injected++
 		j.stats.CtrFlips++
 		j.instant("inject ctrflip", page)
+	case CtrReplay:
+		pages := mem.CtrPages()
+		if len(pages) == 0 {
+			j.stats.SkippedNoTarget++
+			return
+		}
+		page := pages[int(in.Target)%len(pages)]
+		// Roll back to the previously persisted value; a page written
+		// only once rolls back to the zero line absent NVM reads as.
+		prev := j.ctrPrev[page]
+		mem.MutateCtr(page, func(l *line) { *l = prev })
+		// The replayed line is a genuine old (value, ECC) pair: the
+		// shadow follows it, so the ECC model classifies reads Clean.
+		j.shadowCtr[page] = prev
+		j.stats.Injected++
+		j.stats.CtrReplays++
+		j.instant("inject ctrreplay", page)
 	}
 }
 
@@ -266,10 +293,14 @@ func (j *Injector) WriteData(addr uint64, old, intended line) line {
 }
 
 // WriteCtr filters one counter-line persist (counter lines carry no
-// stuck cells or tears in this model; CtrCorrupt fires via Tick).
+// stuck cells or tears in this model; CtrCorrupt fires via Tick). The
+// outgoing value is remembered as CtrReplay's rollback target.
 func (j *Injector) WriteCtr(page uint64, intended line) line {
 	if j == nil {
 		return intended
+	}
+	if prev, ok := j.shadowCtr[page]; ok && prev != intended {
+		j.ctrPrev[page] = prev
 	}
 	j.shadowCtr[page] = intended
 	return intended
@@ -320,6 +351,18 @@ func (j *Injector) ReadCtr(page uint64, actual line) (line, Outcome) {
 		j.stats.CtrSilent++
 	}
 	return actual, out
+}
+
+// NoteCtrTreeDetect records that the machine's integrity tree rejected
+// a counter fetch (or a recovery-time root check) the ECC model could
+// not flag — the detection channel for replayed counters. Nil-safe
+// like every injector entry point.
+func (j *Injector) NoteCtrTreeDetect(page uint64) {
+	if j == nil {
+		return
+	}
+	j.stats.CtrTreeDetected++
+	j.instant("tree detect ctr", page)
 }
 
 // DropShadowData forgets a line's shadow (the machine calls this when a

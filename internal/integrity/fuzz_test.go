@@ -1,0 +1,64 @@
+package integrity
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"supermem/internal/scheme"
+)
+
+// FuzzNodeCodec holds the SMIT1 strictness contract under arbitrary
+// input: DecodeSnapshot either rejects the bytes or yields a tree whose
+// re-encoding is a fixed point — decode(encode(decode(x))) is decode(x)
+// and encode∘decode is the identity on accepted inputs. Mirrors the
+// fault package's FuzzPlanCodec.
+func FuzzNodeCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(snapshotMagic))
+	for _, d := range []struct {
+		kind     scheme.IntegrityKind
+		level    scheme.TreeLevel
+		coalesce bool
+	}{
+		{scheme.IntegrityBMT, scheme.TreeFull, false},
+		{scheme.IntegrityBMT, scheme.TreeLeaves, false},
+		{scheme.IntegrityToC, scheme.TreeFull, true},
+	} {
+		tr := New(d.kind, d.level, d.coalesce)
+		for page := uint64(0); page < 6; page++ {
+			var line [LineBytes]byte
+			for i := range line {
+				line[i] = byte(page*7 + uint64(i))
+			}
+			tr.Update(page*11, &line)
+		}
+		seed := tr.EncodeSnapshot()
+		f.Add(seed)
+		f.Add(seed[:len(seed)-3])
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		enc := tr.EncodeSnapshot()
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted input is not canonical: %d in, %d re-encoded", len(data), len(enc))
+		}
+		again, err := DecodeSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-encoded snapshot failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(tr.leaves, again.leaves) ||
+			!reflect.DeepEqual(tr.interior, again.interior) {
+			t.Fatal("decode -> encode -> decode changed the node set")
+		}
+		rd, rv := tr.Root()
+		ad, av := again.Root()
+		if rd != ad || rv != av {
+			t.Fatal("decode -> encode -> decode changed the root register")
+		}
+	})
+}

@@ -1,0 +1,51 @@
+//go:build ignore
+
+// gencorpus regenerates the checked-in fuzz seed corpus for the SMIT1
+// snapshot codec from representative trees:
+//
+//	go run gencorpus.go
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"supermem/internal/integrity"
+	"supermem/internal/scheme"
+)
+
+func snapshot(kind scheme.IntegrityKind, level scheme.TreeLevel, coalesce bool, pages int) []byte {
+	tr := integrity.New(kind, level, coalesce)
+	for page := uint64(0); page < uint64(pages); page++ {
+		var line [integrity.LineBytes]byte
+		for i := range line {
+			line[i] = byte(page*7 + uint64(i))
+		}
+		tr.Update(page*11, &line)
+	}
+	return tr.EncodeSnapshot()
+}
+
+func main() {
+	full := snapshot(scheme.IntegrityBMT, scheme.TreeFull, false, 6)
+	seeds := map[string][]byte{
+		"seed-empty":     integrity.New(scheme.IntegrityBMT, scheme.TreeFull, false).EncodeSnapshot(),
+		"seed-bmt-full":  full,
+		"seed-leaves":    snapshot(scheme.IntegrityBMT, scheme.TreeLeaves, false, 6),
+		"seed-toc":       snapshot(scheme.IntegrityToC, scheme.TreeFull, true, 4),
+		"seed-truncated": full[:len(full)-3],
+		"seed-magic":     []byte("SMIT1"),
+	}
+
+	dir := filepath.Join("testdata", "fuzz", "FuzzNodeCodec")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		panic(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -68,10 +68,15 @@ func (m *Machine) persistData(base uint64, content line) {
 }
 
 // persistCtr lands one counter line in NVM, keeping the injector's
-// packed-domain shadow in sync.
+// packed-domain shadow and the integrity tree in sync. The tree update
+// rides in the same atomic append as the counter (no extra persistence
+// micro-step) and hashes the *intended* content: the hardware digests
+// what it writes, so media corruption landing afterwards mismatches.
 func (m *Machine) persistCtr(page uint64, cl ctr.Line) {
-	m.inj.WriteCtr(page, cl.Pack())
+	packed := cl.Pack()
+	m.inj.WriteCtr(page, packed)
 	m.nvmCtr[page] = cl
+	m.treeUpdate(page, packed)
 }
 
 // readData reads one NVM line through the ECC model: a correctable
@@ -87,16 +92,22 @@ func (m *Machine) readData(base uint64) line {
 	return got
 }
 
-// readCtr reads one persisted counter line through the ECC model.
+// readCtr reads one persisted counter line through the ECC model, then
+// verifies whatever the machine is about to consume against the
+// integrity tree (modes without a tree skip that for free). A replayed
+// counter line carries valid ECC metadata and sails through
+// classification as Clean; only the tree check catches it.
 func (m *Machine) readCtr(page uint64, cl ctr.Line) ctr.Line {
-	if m.inj == nil {
-		return cl
+	if m.inj != nil {
+		m.inj.Sync(injMem{m})
+		cl = m.nvmCtr[page] // re-read: Sync may have corrupted it
+		got, out := m.inj.ReadCtr(page, cl.Pack())
+		if out == fault.Corrected {
+			cl = ctr.Unpack(got)
+		}
 	}
-	m.inj.Sync(injMem{m})
-	cl = m.nvmCtr[page] // re-read: Sync may have corrupted it
-	got, out := m.inj.ReadCtr(page, cl.Pack())
-	if out == fault.Corrected {
-		return ctr.Unpack(got)
+	if m.tree != nil {
+		m.verifyCtr(page, cl.Pack())
 	}
 	return cl
 }

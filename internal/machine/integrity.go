@@ -1,0 +1,92 @@
+package machine
+
+// Integrity-tree plumbing: modes whose registered policy names an
+// IntegrityKind carry an integrity tree over their counter lines. The
+// tree is updated inside persistCtr — the counter and its tree path
+// persist atomically through the same ADR-covered append, so tree
+// maintenance never consumes a persistence micro-step — and every
+// counter line fetched from NVM is verified against it in readCtr. A
+// mismatch is the tree catching what ECC cannot: a replayed counter
+// line carries valid ECC metadata and reads back clean, but its hash
+// no longer chains to the on-chip root.
+
+import (
+	"supermem/internal/integrity"
+	"supermem/internal/obs"
+	"supermem/internal/scheme"
+)
+
+// The integrity-tree modes, re-exported for call-site brevity.
+const (
+	// BMTFull verifies counter fetches against a Bonsai Merkle tree
+	// whose full update path persists with every counter write.
+	BMTFull = scheme.ModeBMTFull
+	// BMTLeaves persists only leaf hashes (Triad-NVM's relaxation) and
+	// rebuilds the interior during recovery.
+	BMTLeaves = scheme.ModeBMTLeaves
+	// Phoenix verifies against a persistent tree of versioned counters
+	// with coalesced tree-update writes.
+	Phoenix = scheme.ModePhoenix
+)
+
+// newTree builds the mode's integrity tree (nil when the mode has
+// none).
+func newTree(pol scheme.ModeInfo) *integrity.Tree {
+	return integrity.New(pol.Integrity, pol.TreePersist, pol.TreeCoalesce)
+}
+
+// treeUpdate absorbs one counter-line persist into the tree.
+func (m *Machine) treeUpdate(page uint64, packed line) {
+	if m.tree == nil {
+		return
+	}
+	m.tree.Update(page, &packed)
+}
+
+// verifyCtr checks a counter line just fetched from NVM against the
+// integrity tree. On a mismatch the hardware raises an integrity
+// violation: the injector tallies it as a tree detection (the signal
+// the crash-layer classification turns into Detected-by-tree) and the
+// recorder gets an instant. The path is allocation-free — it runs on
+// every counter-cache miss.
+func (m *Machine) verifyCtr(page uint64, packed line) {
+	if m.tree == nil || m.treeVerifyOff {
+		return
+	}
+	if !m.tree.VerifyLeaf(page, &packed) {
+		m.inj.NoteCtrTreeDetect(page)
+		m.rec.InstantArg(obs.TrackMachine, "tree detect", uint64(m.persists), "page", page)
+	}
+}
+
+// recoverTree builds the successor's tree from the crashed machine's
+// persisted tree image: leaves always survive, the interior per the
+// persistence level, with the rebuild checked against the on-chip
+// root. A root mismatch is an integrity violation at boot.
+func (n *Machine) recoverTree(m *Machine) {
+	if m.tree == nil {
+		return
+	}
+	tree, ok := m.tree.Recovered()
+	n.tree = tree
+	if !ok {
+		n.inj.NoteCtrTreeDetect(0)
+		n.rec.Instant(obs.TrackMachine, "tree root mismatch", uint64(m.persists))
+	}
+}
+
+// TreeStats returns the integrity tree's counters (zero value for
+// modes without a tree). RecoveryHashes on a post-Recover machine is
+// the recovery-time cost of the mode's tree-persistence level.
+func (m *Machine) TreeStats() integrity.Stats { return m.tree.Stats() }
+
+// TreeSnapshot returns the canonical encoding of the tree's persisted
+// image (nil for modes without a tree): the bytes a crash leaves
+// behind, sized for the bench harness's persisted-state accounting.
+func (m *Machine) TreeSnapshot() []byte { return m.tree.EncodeSnapshot() }
+
+// SetTreeVerify enables or disables counter verification against the
+// integrity tree. It exists for one purpose: the detection-property
+// regression test disables it to prove the property fails without the
+// tree — production code never calls it.
+func (m *Machine) SetTreeVerify(on bool) { m.treeVerifyOff = !on }

@@ -17,6 +17,7 @@ import (
 	"supermem/internal/config"
 	"supermem/internal/ctr"
 	"supermem/internal/fault"
+	"supermem/internal/integrity"
 	"supermem/internal/obs"
 	"supermem/internal/scheme"
 )
@@ -111,6 +112,14 @@ type Machine struct {
 	// inj, when non-nil, corrupts persisted lines per its plan and
 	// classifies every NVM read under its ECC model (see fault.go).
 	inj *fault.Injector
+
+	// tree, when non-nil, is the integrity tree over the counter lines
+	// (see integrity.go): updated on every counter persist, consulted
+	// on every counter fetch from NVM.
+	tree *integrity.Tree
+	// treeVerifyOff disables tree verification; a test hook only (see
+	// SetTreeVerify).
+	treeVerifyOff bool
 }
 
 // rsrState is the 20-byte RSR: page number, the page's old major
@@ -161,6 +170,7 @@ func New(mode Mode, key []byte, opts ...Option) (*Machine, error) {
 		ctrDirty: make(map[uint64]bool),
 		crashAt:  -1,
 	}
+	m.tree = newTree(pol)
 	for _, o := range opts {
 		o(m)
 	}
@@ -486,6 +496,11 @@ func (m *Machine) Recover(opts ...Option) *Machine {
 	for a, t := range m.nvmTag {
 		n.nvmTag[a] = t
 	}
+	n.treeVerifyOff = m.treeVerifyOff
+	// Rebuild the successor's tree from the persisted image before any
+	// recovery work persists counters through it (battery flush, RSR
+	// completion, Osiris probing).
+	n.recoverTree(m)
 	if m.pol.Battery {
 		// The battery flushes every dirty counter line on power loss.
 		for page := range m.ctrDirty {

@@ -65,6 +65,9 @@ const (
 	// SeriesCtrDeferred counts counter writes deferred by relaxed
 	// counter-persistence schemes (Osiris's stop-loss) per window.
 	SeriesCtrDeferred
+	// SeriesTreeWrites counts integrity-tree node writes enqueued per
+	// window (integrity-tree schemes only).
+	SeriesTreeWrites
 
 	numSeries
 )
@@ -311,6 +314,7 @@ func (r *Recorder) counterTracks() []counterTrack {
 		{name: "engine events/window", values: r.series[SeriesEngineEvents].values(r.window, end)},
 		{name: "bank remaps/window", values: r.series[SeriesBankRemaps].values(r.window, end)},
 		{name: "ctr deferred/window", values: r.series[SeriesCtrDeferred].values(r.window, end)},
+		{name: "tree writes/window", values: r.series[SeriesTreeWrites].values(r.window, end)},
 	}
 	for b := range r.banks {
 		tracks = append(tracks, counterTrack{

@@ -80,6 +80,29 @@ func init() {
 		CounterPersistInterval: OsirisStopLoss, Tagged: true,
 		Table1: allConsistent(), Table1Default: true,
 	})
+	// The integrity-tree designs share the register mode's persistence
+	// profile — tree-node updates ride in the same atomic (ADR-covered)
+	// append as their counter — so all of them keep Table 1's
+	// all-consistent row. What separates them is what a crash leaves
+	// behind (full tree vs leaf hashes) and how updates are accounted.
+	RegisterMode(ModeInfo{
+		ID: ModeBMTFull, Name: "BMT-Full",
+		Encrypted: true, WriteThrough: true, Register: true,
+		Integrity: IntegrityBMT, TreePersist: TreeFull,
+		Table1: allConsistent(), Table1Default: true,
+	})
+	RegisterMode(ModeInfo{
+		ID: ModeBMTLeaves, Name: "BMT-Leaves",
+		Encrypted: true, WriteThrough: true, Register: true,
+		Integrity: IntegrityBMT, TreePersist: TreeLeaves,
+		Table1: allConsistent(), Table1Default: true,
+	})
+	RegisterMode(ModeInfo{
+		ID: ModePhoenix, Name: "Phoenix",
+		Encrypted: true, WriteThrough: true, Register: true,
+		Integrity: IntegrityToC, TreePersist: TreeFull, TreeCoalesce: true,
+		Table1: allConsistent(), Table1Default: true,
+	})
 
 	// Timing schemes, in figure-column order.
 	Register(Descriptor{
@@ -128,5 +151,28 @@ func init() {
 		Encrypted: true, WriteThrough: true, Placement: SingleBank,
 		CounterPersistInterval: OsirisStopLoss,
 		Mode:                   ModeOsiris, Extended: true,
+	})
+	// The integrity-tree extensions: write-through timing plus
+	// tree-update writes per counter persist. BMT persists the full
+	// path strictly; Triad-NVM relaxes persistence to the leaves;
+	// Phoenix persists the full path of its tree of counters but
+	// coalesces updates Streamlining-style.
+	Register(Descriptor{
+		ID: BMT, Name: "BMT",
+		Encrypted: true, WriteThrough: true, Placement: SingleBank,
+		Integrity: IntegrityBMT, TreePersist: TreeFull,
+		Mode: ModeBMTFull, Extended: true,
+	})
+	Register(Descriptor{
+		ID: TriadNVM, Name: "Triad-NVM",
+		Encrypted: true, WriteThrough: true, Placement: SingleBank,
+		Integrity: IntegrityBMT, TreePersist: TreeLeaves,
+		Mode: ModeBMTLeaves, Extended: true,
+	})
+	Register(Descriptor{
+		ID: Phoenix, Name: "Phoenix",
+		Encrypted: true, WriteThrough: true, Placement: SingleBank,
+		Integrity: IntegrityToC, TreePersist: TreeFull, TreeCoalesce: true,
+		Mode: ModePhoenix, Extended: true,
 	})
 }

@@ -26,10 +26,18 @@ import (
 var schemeConstIdents = map[string]bool{
 	"Unsec": true, "WB": true, "WT": true, "WTCWC": true,
 	"WTXBank": true, "SuperMem": true, "SCA": true, "Osiris": true,
+	"BMT": true, "TriadNVM": true, "Phoenix": true,
 	"Unencrypted": true, "WTRegister": true, "WTNoRegister": true,
 	"WBBattery": true, "WBNoBattery": true,
+	"BMTFull": true, "BMTLeaves": true,
 	"ModeUnencrypted": true, "ModeWTRegister": true, "ModeWTNoRegister": true,
 	"ModeWBBattery": true, "ModeWBNoBattery": true, "ModeOsiris": true,
+	"ModeBMTFull": true, "ModeBMTLeaves": true, "ModePhoenix": true,
+	// The integrity axes are design identity too: switch-dispatching on
+	// the tree kind or persistence level anywhere outside the registry
+	// is the same hazard as switching on a Scheme.
+	"IntegrityNone": true, "IntegrityBMT": true, "IntegrityToC": true,
+	"TreeFull": true, "TreeLeaves": true,
 }
 
 var schemeTagPattern = regexp.MustCompile(`(?i)\b(mode|scheme)\b`)

@@ -50,6 +50,16 @@ const (
 	// are recovered after a crash by probing candidates against per-line
 	// integrity tags.
 	Osiris
+	// BMT is a Bonsai-Merkle-tree design: a hash tree over the counter
+	// lines, strictly persisted to the full root on every counter write.
+	BMT
+	// TriadNVM relaxes BMT's tree persistence to the leaf level (Awad et
+	// al.): only leaf hashes persist with their counters; interior nodes
+	// are rebuilt during recovery.
+	TriadNVM
+	// Phoenix is a persistent tree of counters (Alwadi et al.): versioned
+	// tree nodes persisted with coalesced (Streamlining-style) updates.
+	Phoenix
 )
 
 // Mode selects the persistence design of the byte-accurate functional
@@ -78,6 +88,16 @@ const (
 	// ModeOsiris relaxes counter persistence and recovers lost counters
 	// after a crash by probing against per-line integrity tags.
 	ModeOsiris
+	// ModeBMTFull verifies every counter fetch against a Bonsai Merkle
+	// tree whose full path to the root persists with each counter write.
+	ModeBMTFull
+	// ModeBMTLeaves persists only the tree's leaf hashes (Triad-NVM's
+	// relaxation); interior nodes are rebuilt — and checked against the
+	// on-chip root — during recovery.
+	ModeBMTLeaves
+	// ModePhoenix verifies counters against a Phoenix-style persistent
+	// tree of versioned counters with coalesced tree-update writes.
+	ModePhoenix
 )
 
 // Placement identifies the counter-line placement policy (Figure 8).
@@ -109,6 +129,64 @@ func (p Placement) String() string {
 	return fmt.Sprintf("Placement(%d)", int(p))
 }
 
+// IntegrityKind selects the integrity-tree design protecting the
+// counter lines. The zero value is no tree: counter-mode encryption
+// alone, the paper's configuration.
+type IntegrityKind int
+
+const (
+	// IntegrityNone runs without an integrity tree.
+	IntegrityNone IntegrityKind = iota
+	// IntegrityBMT protects counter lines with a Bonsai-Merkle-style
+	// hash tree whose root lives in an on-chip (ADR) register.
+	IntegrityBMT
+	// IntegrityToC protects counter lines with a Phoenix-style tree of
+	// counters: every node carries a monotone version alongside its
+	// hash, making node staleness directly observable.
+	IntegrityToC
+)
+
+var integrityNames = map[IntegrityKind]string{
+	IntegrityNone: "None",
+	IntegrityBMT:  "BMT",
+	IntegrityToC:  "ToC",
+}
+
+// String returns the short name of the integrity-tree design.
+func (k IntegrityKind) String() string {
+	if n, ok := integrityNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("IntegrityKind(%d)", int(k))
+}
+
+// TreeLevel selects how much of the integrity tree persists with each
+// counter write (Triad-NVM's relaxation axis).
+type TreeLevel int
+
+const (
+	// TreeFull persists the whole update path, leaf to root, with every
+	// counter write: instant recovery, maximal write amplification.
+	TreeFull TreeLevel = iota
+	// TreeLeaves persists only the leaf hash; interior nodes stay
+	// volatile and recovery rebuilds them, trading recovery time for
+	// write amplification.
+	TreeLeaves
+)
+
+var treeLevelNames = map[TreeLevel]string{
+	TreeFull:   "Full",
+	TreeLeaves: "Leaves",
+}
+
+// String returns the persistence level's short name.
+func (l TreeLevel) String() string {
+	if n, ok := treeLevelNames[l]; ok {
+		return n
+	}
+	return fmt.Sprintf("TreeLevel(%d)", int(l))
+}
+
 // Descriptor is one scheme's full timing policy. Registering a
 // descriptor is all it takes for the scheme to flow through config
 // validation, the core timing model, and the bench harness.
@@ -135,6 +213,17 @@ type Descriptor struct {
 	// line's minor counter is a multiple of the interval (Osiris's
 	// stop-loss). 0 or 1 means strict (every update persists).
 	CounterPersistInterval int
+	// Integrity selects the integrity-tree design protecting counter
+	// lines; the timing model charges tree-update writes per counter
+	// persist when it is not IntegrityNone.
+	Integrity IntegrityKind
+	// TreePersist selects how much of the tree's update path is written
+	// per counter persist (meaningful only with an integrity tree).
+	TreePersist TreeLevel
+	// TreeCoalesce enables Streamlining-style coalescing of tree-update
+	// writes: repeated writes to a node already pending in the tree
+	// write-combining buffer are absorbed instead of enqueued.
+	TreeCoalesce bool
 	// Mode is the functional machine design this scheme corresponds to
 	// — the crash/recovery behaviour backing the timing claims.
 	Mode Mode
@@ -168,6 +257,18 @@ type ModeInfo struct {
 	// Tagged stores a per-line integrity tag with every flush so
 	// recovery can probe lost counters against it.
 	Tagged bool
+	// Integrity selects the integrity-tree design the machine verifies
+	// counter fetches against (IntegrityNone disables verification).
+	Integrity IntegrityKind
+	// TreePersist selects how much of the tree survives a crash:
+	// TreeFull carries the whole tree across power loss (every node
+	// persisted with its counter), TreeLeaves only the leaf hashes.
+	TreePersist TreeLevel
+	// TreeCoalesce absorbs repeated updates to a tree node still
+	// pending in the write-combining buffer (affects the write-
+	// amplification accounting, not crash-state: coalesced updates
+	// still persist atomically with their counter).
+	TreeCoalesce bool
 	// Table1 is the mode's expected recoverability per workload name:
 	// true means every crash point must recover to a transaction
 	// boundary; false means at least one crash point must corrupt.
@@ -308,6 +409,18 @@ func (s Scheme) CounterPersistInterval() int {
 	}
 	return 1
 }
+
+// Integrity returns the integrity-tree design protecting the scheme's
+// counter lines (IntegrityNone when the scheme runs without a tree).
+func (s Scheme) Integrity() IntegrityKind { return schemes[s].Integrity }
+
+// TreePersist returns how much of the integrity tree's update path is
+// written per counter persist.
+func (s Scheme) TreePersist() TreeLevel { return schemes[s].TreePersist }
+
+// TreeCoalesce reports whether tree-update writes coalesce in the tree
+// write-combining buffer.
+func (s Scheme) TreeCoalesce() bool { return schemes[s].TreeCoalesce }
 
 // Mode returns the functional machine design the scheme corresponds to.
 func (s Scheme) Mode() Mode { return schemes[s].Mode }

@@ -157,6 +157,9 @@ func TestGoldenSchemePredicates(t *testing.T) {
 		scheme.SuperMem: {"SuperMem", true, true, false, true, scheme.XBank, 1, scheme.ModeWTRegister},
 		scheme.SCA:      {"SCA", true, false, true, false, scheme.SingleBank, 1, scheme.ModeWTRegister},
 		scheme.Osiris:   {"Osiris", true, true, false, false, scheme.SingleBank, scheme.OsirisStopLoss, scheme.ModeOsiris},
+		scheme.BMT:      {"BMT", true, true, false, false, scheme.SingleBank, 1, scheme.ModeBMTFull},
+		scheme.TriadNVM: {"Triad-NVM", true, true, false, false, scheme.SingleBank, 1, scheme.ModeBMTLeaves},
+		scheme.Phoenix:  {"Phoenix", true, true, false, false, scheme.SingleBank, 1, scheme.ModePhoenix},
 	}
 	all := scheme.Extended()
 	if len(all) != len(golden) {
@@ -212,7 +215,8 @@ func TestGoldenOrders(t *testing.T) {
 			t.Fatalf("Paper() = %v, want %v", gotPaper, wantPaper)
 		}
 	}
-	wantExt := append(wantPaper, scheme.SCA, scheme.Osiris)
+	wantExt := append(wantPaper, scheme.SCA, scheme.Osiris,
+		scheme.BMT, scheme.TriadNVM, scheme.Phoenix)
 	gotExt := scheme.Extended()
 	if len(gotExt) != len(wantExt) {
 		t.Fatalf("Extended() = %v, want %v", gotExt, wantExt)
@@ -225,6 +229,7 @@ func TestGoldenOrders(t *testing.T) {
 	wantModes := []scheme.Mode{
 		scheme.ModeUnencrypted, scheme.ModeWTRegister, scheme.ModeWTNoRegister,
 		scheme.ModeWBBattery, scheme.ModeWBNoBattery, scheme.ModeOsiris,
+		scheme.ModeBMTFull, scheme.ModeBMTLeaves, scheme.ModePhoenix,
 	}
 	gotModes := scheme.Modes()
 	if len(gotModes) != len(wantModes) {
@@ -247,6 +252,9 @@ func TestGoldenModeNames(t *testing.T) {
 		scheme.ModeWBBattery:    "WB+Battery",
 		scheme.ModeWBNoBattery:  "WB-NoBattery",
 		scheme.ModeOsiris:       "Osiris",
+		scheme.ModeBMTFull:      "BMT-Full",
+		scheme.ModeBMTLeaves:    "BMT-Leaves",
+		scheme.ModePhoenix:      "Phoenix",
 	}
 	for m, want := range golden {
 		if m.String() != want {
@@ -286,6 +294,55 @@ func TestGoldenTable1(t *testing.T) {
 	// workloads; Table1Default preserves that.
 	if scheme.ExpectedConsistent(scheme.ModeWTNoRegister, "adhoc") {
 		t.Error("WT-NoRegister on an unknown workload should use its false Table1Default")
+	}
+}
+
+// TestGoldenIntegrityPredicates pins the integrity axis of every
+// registered scheme: the paper's designs run treeless, and the three
+// integrity extensions differ exactly in design, persistence level,
+// and coalescing — the axes the integrity experiment sweeps.
+func TestGoldenIntegrityPredicates(t *testing.T) {
+	type row struct {
+		kind     scheme.IntegrityKind
+		persist  scheme.TreeLevel
+		coalesce bool
+	}
+	golden := map[scheme.Scheme]row{
+		scheme.BMT:      {scheme.IntegrityBMT, scheme.TreeFull, false},
+		scheme.TriadNVM: {scheme.IntegrityBMT, scheme.TreeLeaves, false},
+		scheme.Phoenix:  {scheme.IntegrityToC, scheme.TreeFull, true},
+	}
+	for _, s := range scheme.Extended() {
+		want := golden[s] // zero row: no tree
+		if s.Integrity() != want.kind {
+			t.Errorf("%v.Integrity() = %v, want %v", s, s.Integrity(), want.kind)
+		}
+		if s.TreePersist() != want.persist {
+			t.Errorf("%v.TreePersist() = %v, want %v", s, s.TreePersist(), want.persist)
+		}
+		if s.TreeCoalesce() != want.coalesce {
+			t.Errorf("%v.TreeCoalesce() = %v, want %v", s, s.TreeCoalesce(), want.coalesce)
+		}
+		// The scheme's functional mode must agree on every integrity
+		// axis — the timing model and the crash machine must describe
+		// the same design.
+		mi, _ := scheme.LookupMode(s.Mode())
+		if mi.Integrity != want.kind || mi.TreePersist != want.persist || mi.TreeCoalesce != want.coalesce {
+			t.Errorf("%v's mode %v integrity policy (%v,%v,%v) disagrees with descriptor (%v,%v,%v)",
+				s, s.Mode(), mi.Integrity, mi.TreePersist, mi.TreeCoalesce,
+				want.kind, want.persist, want.coalesce)
+		}
+	}
+	// Integrity modes share the register design's persistence profile:
+	// write-through with the atomic two-line append.
+	for _, m := range []scheme.Mode{scheme.ModeBMTFull, scheme.ModeBMTLeaves, scheme.ModePhoenix} {
+		mi, ok := scheme.LookupMode(m)
+		if !ok {
+			t.Fatalf("integrity mode %v not registered", m)
+		}
+		if !mi.Encrypted || !mi.WriteThrough || !mi.Register || mi.Battery || mi.Tagged {
+			t.Errorf("mode %v should be encrypted write-through register without battery/tags: %+v", m, mi)
+		}
 	}
 }
 

@@ -33,6 +33,13 @@ type Metrics struct {
 	// interval boundary.
 	DeferredCtrWrites uint64
 
+	// TreeNodeWrites counts integrity-tree node writes issued to NVM
+	// (integrity-tree schemes only): the tree's write amplification.
+	TreeNodeWrites uint64
+	// TreeCoalescedWrites counts tree-node writes absorbed by the
+	// tree's write-combining buffer (Streamlining-style coalescing).
+	TreeCoalescedWrites uint64
+
 	// NVMReads counts line reads served by the NVM device.
 	NVMReads uint64
 
@@ -93,6 +100,8 @@ func (m *Metrics) Add(other Metrics) {
 	m.CounterWrites += other.CounterWrites
 	m.CoalescedWrites += other.CoalescedWrites
 	m.DeferredCtrWrites += other.DeferredCtrWrites
+	m.TreeNodeWrites += other.TreeNodeWrites
+	m.TreeCoalescedWrites += other.TreeCoalescedWrites
 	m.NVMReads += other.NVMReads
 	m.WQStallCycles += other.WQStallCycles
 	m.ReadStallCycles += other.ReadStallCycles

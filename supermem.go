@@ -459,6 +459,11 @@ type (
 	FaultSweepOpts = bench.FaultSweepOpts
 	// FaultSweepResult is the faultsweep experiment's report.
 	FaultSweepResult = bench.FaultSweepResult
+	// IntegrityOpts sizes the integrity experiment.
+	IntegrityOpts = bench.IntegrityOpts
+	// IntegrityResult is the integrity experiment's report: the
+	// counter-attack detection grid plus the tree-write timing cells.
+	IntegrityResult = bench.IntegrityResult
 )
 
 // ECC profiles, strongest detection last.
@@ -499,3 +504,11 @@ func RunFault(mode CrashMode, workloadName string, steps int, plan FaultPlan, ec
 // quarantined, and remapped. Results are byte-identical at any
 // Parallel setting.
 func FaultSweep(o FaultSweepOpts) (*FaultSweepResult, error) { return bench.FaultSweep(o) }
+
+// IntegritySweep runs the integrity experiment: a counter rollback +
+// corruption plan against the integrity-tree modes (and the treeless
+// baseline) across crash points with nested recovery crashes, plus
+// timing cells measuring tree-node write amplification and coalescing
+// per persistence level. Results are byte-identical at any Parallel
+// setting.
+func IntegritySweep(o IntegrityOpts) (*IntegrityResult, error) { return bench.IntegritySweep(o) }

@@ -102,8 +102,8 @@ func TestCrashSweepPublicAPI(t *testing.T) {
 }
 
 func TestCrashFuzzPublicAPI(t *testing.T) {
-	if n := len(supermem.CrashModes()); n != 6 {
-		t.Fatalf("CrashModes lists %d designs, want 6", n)
+	if n := len(supermem.CrashModes()); n != 9 {
+		t.Fatalf("CrashModes lists %d designs, want 9", n)
 	}
 	res, err := supermem.CrashFuzz(supermem.CrashFuzzParams{
 		Workload: "queue", Steps: 3, Nested: true, MaxNested: 2,
@@ -187,7 +187,7 @@ func TestSCAExtensionOrdering(t *testing.T) {
 		t.Fatalf("counter writes not ordered: WB=%d SCA=%d WT=%d",
 			wb.CounterWrites, sca.CounterWrites, wt.CounterWrites)
 	}
-	if len(supermem.ExtendedSchemes()) != 8 {
+	if len(supermem.ExtendedSchemes()) != 11 {
 		t.Fatalf("ExtendedSchemes = %v", supermem.ExtendedSchemes())
 	}
 }
