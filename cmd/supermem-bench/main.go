@@ -13,6 +13,8 @@
 //	supermem-bench -exp osiris                # Osiris relaxed-counter-persistence extension
 //	supermem-bench -exp faultsweep            # fault x crash x ECC grid + bank quarantine
 //	supermem-bench -exp faultsweep -fault-strict -json   # CI gate + artifact
+//	supermem-bench -exp kv                    # sharded KV serving under Zipfian skew
+//	supermem-bench -exp kv -kv-shards 8 -kv-skew 0.99 -kv-mix 50,30,10,5,5 -json
 //	supermem-bench -exp all                   # everything
 //	supermem-bench -exp all -parallel 1       # serial (identical output)
 //	supermem-bench -exp fig13 -json           # also write BENCH_fig13_*.json
@@ -68,7 +70,7 @@ type artifact struct {
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, osiris, faultsweep, integrity, all")
+		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, osiris, faultsweep, integrity, kv, all")
 		faultStrict  = flag.Bool("fault-strict", false, "exit non-zero if the faultsweep or integrity experiments violate their detection claims (silent corruption, unflagged replays, dead quarantine cell)")
 		faultSeed    = flag.Int64("fault-seed", 0, "base seed for the faultsweep's generated plans (0 = default)")
 		csv          = flag.Bool("csv", false, "print tables as CSV instead of aligned text")
@@ -87,6 +89,15 @@ func main() {
 		parallelEng  = flag.Bool("parallel-engine", false, "use the bank-partitioned event engine (config.ParallelEngine; output is byte-identical)")
 		perfAppend   = flag.String("perf-append", "", "append this run's headline wall times to the given perf-trajectory JSON file (e.g. BENCH_perf.json)")
 		perfLabel    = flag.String("perf-label", "", "free-form label recorded with -perf-append (e.g. a commit subject)")
+
+		kvShards   = flag.String("kv-shards", "", "comma-separated shard counts for -exp kv (default 1,2,4,8)")
+		kvKeys     = flag.Int("kv-keys", 0, "per-shard keyspace for -exp kv (default 4096)")
+		kvRequests = flag.Int("kv-requests", 0, "measured requests per shard for -exp kv (default -transactions)")
+		kvThetas   = flag.String("kv-skew", "", "comma-separated Zipfian thetas in [0,1) for -exp kv (default 0,0.99)")
+		kvMix      = flag.String("kv-mix", "", "read,update,insert,delete,scan percentages for -exp kv (default 95,5,0,0,0)")
+		kvTx       = flag.Int("kv-tx", 0, "transaction/value sizing in bytes for -exp kv (default 256)")
+		kvScan     = flag.Int("kv-scan", 0, "keys per scan request for -exp kv (default 16)")
+		kvUncore   = flag.Bool("kv-uncore", true, "include the shared-vs-partitioned counter-cache and per-core write-queue cells in -exp kv")
 	)
 	flag.Parse()
 
@@ -312,9 +323,20 @@ func main() {
 		ran = true
 		runIntegrity(*parallel, *faultStrict, *jsonOut)
 	}
+	if want("kv") {
+		ran = true
+		ko, err := kvOpts(*kvShards, *kvKeys, *kvRequests, *kvThetas, *kvMix, *kvTx, *kvScan, *kvUncore)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: kv: %v\n", err)
+			os.Exit(2)
+		}
+		// The kv experiment joins the -perf-append trajectory like the
+		// standard figure runners.
+		walls = append(walls, perfExperiment{Name: "kv", WallMillis: runKV(cfg, opts, ko, *jsonOut)})
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "supermem-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "osiris", "faultsweep", "integrity", "all"}, ", "))
+			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "osiris", "faultsweep", "integrity", "kv", "all"}, ", "))
 		os.Exit(2)
 	}
 	if *perfAppend != "" {
@@ -521,6 +543,87 @@ func runIntegrity(parallel int, strict, jsonOut bool) {
 		}
 		fmt.Println("integrity strict check passed: every counter replay was caught by the tree; zero silent outcomes")
 	}
+}
+
+// kvOpts assembles the KV experiment options from the -kv-* flags.
+func kvOpts(shards string, keys, requests int, thetas, mix string, txBytes, scanLen int, uncore bool) (supermem.KVOpts, error) {
+	ko := supermem.KVOpts{
+		Keys:           keys,
+		Requests:       requests,
+		TxBytes:        txBytes,
+		ScanLen:        scanLen,
+		UncoreVariants: &uncore,
+	}
+	if shards != "" {
+		for _, f := range strings.Split(shards, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
+				return ko, fmt.Errorf("bad -kv-shards entry %q", f)
+			}
+			ko.Shards = append(ko.Shards, n)
+		}
+	}
+	if thetas != "" {
+		for _, f := range strings.Split(thetas, ",") {
+			var t float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%g", &t); err != nil || t < 0 || t >= 1 {
+				return ko, fmt.Errorf("bad -kv-skew entry %q (want [0,1))", f)
+			}
+			ko.Thetas = append(ko.Thetas, t)
+		}
+	}
+	if mix != "" {
+		parts := strings.Split(mix, ",")
+		if len(parts) != 5 {
+			return ko, fmt.Errorf("-kv-mix wants 5 comma-separated percentages (read,update,insert,delete,scan), got %q", mix)
+		}
+		for i, f := range parts {
+			if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &ko.Mix[i]); err != nil {
+				return ko, fmt.Errorf("bad -kv-mix entry %q", f)
+			}
+		}
+	}
+	return ko, nil
+}
+
+// kvArtifact is the machine-readable KV-serving record. Like the osiris
+// artifact it carries no wall-time or parallelism fields, so the same
+// options produce a byte-identical BENCH_kv.json at any -parallel
+// setting and any worker schedule.
+type kvArtifact struct {
+	Experiment string             `json:"experiment"`
+	Result     *supermem.KVResult `json:"result"`
+}
+
+// runKV executes the sharded KV-serving grid and returns its wall time
+// in milliseconds for the perf trajectory.
+func runKV(cfg supermem.Config, opts supermem.ExperimentOpts, ko supermem.KVOpts, jsonOut bool) int64 {
+	start := time.Now()
+	hits0, miss0 := supermem.TraceCacheStats()
+	res, err := supermem.KVServe(cfg, opts, ko)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: kv: %v\n", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+	fmt.Println(res)
+	hits, miss := supermem.TraceCacheStats()
+	fmt.Printf("[kv done in %s; trace cache %d hits / %d misses]\n\n",
+		wall.Round(time.Millisecond), hits-hits0, miss-miss0)
+	if jsonOut {
+		a := kvArtifact{Experiment: "kv", Result: res}
+		data, err := json.MarshalIndent(a, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: encoding BENCH_kv.json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_kv.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: writing BENCH_kv.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote BENCH_kv.json]\n\n")
+	}
+	return wall.Milliseconds()
 }
 
 // traceLabel returns the trace cell selector, or "" when -events is

@@ -2,7 +2,9 @@ package bench
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -114,35 +116,69 @@ func (r *Runner) runCell(spec Spec, rec *obs.Recorder) (stats.Metrics, error) {
 	return sys.Run(sources)
 }
 
-// traceKey identifies everything BuildSources' output depends on. The
-// scheme is deliberately absent: the functional trace generation only
-// reads MemBytes/Banks from the config (for the bank layout), so the
-// six schemes of a figure row replay one recorded stream.
-type traceKey struct {
-	workload        string
-	txBytes         int
-	transactions    int
-	warmup          int
-	cores           int
-	footprint       uint64
-	seed            int64
-	singleCoreBanks int
-	banks           int
-	memBytes        uint64
+// traceKey identifies everything BuildSources' output depends on.
+type traceKey = string
+
+// unkeyedSpecFields lists the Spec fields deliberately excluded from the
+// trace-cache key, each with the reason it cannot change BuildSources'
+// output. keyOf includes every other field automatically, so the key
+// fails closed: a newly added Spec field is keyed by default and two
+// specs differing only in it never share a cache entry. (Before this,
+// keyOf copied a fixed field list, and a spec field it didn't know
+// about — like the KV request-mix knobs — silently shared one recording
+// across cells that should have differed.)
+var unkeyedSpecFields = map[string]string{
+	// Trace generation runs the workload on the functional tracing
+	// backend; the scheme only changes how the timing model replays the
+	// recorded stream, which is the sharing the cache exists for.
+	"Scheme": "trace generation is scheme-independent",
+	// Of the config template, only the bank count and capacity shape the
+	// address layout the workload allocates from; both are keyed
+	// explicitly in the key prefix.
+	"Base": "only Base.Banks and Base.MemBytes affect traces; keyed explicitly",
 }
 
 func keyOf(spec Spec) traceKey {
-	return traceKey{
-		workload:        spec.Workload,
-		txBytes:         spec.TxBytes,
-		transactions:    spec.Transactions,
-		warmup:          spec.Warmup,
-		cores:           spec.Cores,
-		footprint:       spec.FootprintBytes,
-		seed:            spec.Seed,
-		singleCoreBanks: spec.SingleCoreBanks,
-		banks:           spec.Base.Banks,
-		memBytes:        spec.Base.MemBytes,
+	var b strings.Builder
+	fmt.Fprintf(&b, "Base.Banks=%v;Base.MemBytes=%v;", spec.Base.Banks, spec.Base.MemBytes)
+	v := reflect.ValueOf(spec)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if _, excluded := unkeyedSpecFields[f.Name]; excluded {
+			continue
+		}
+		mustKeyByValue("Spec."+f.Name, f.Type)
+		fmt.Fprintf(&b, "%s=%v;", f.Name, v.Field(i).Interface())
+	}
+	return b.String()
+}
+
+// mustKeyByValue panics when a type cannot be rendered semantically by
+// %v — pointers, maps, slices, and friends would key on storage
+// addresses, making equal specs miss (or worse, recycled addresses
+// collide). Such a field must be listed in unkeyedSpecFields with a
+// justification or given explicit key handling; the panic turns a silent
+// caching bug into an immediate failure on first use.
+func mustKeyByValue(name string, t reflect.Type) {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128,
+		reflect.String:
+		return
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			mustKeyByValue(name+"."+f.Name, f.Type)
+		}
+		return
+	case reflect.Array:
+		mustKeyByValue(name+"[]", t.Elem())
+		return
+	default:
+		panic(fmt.Sprintf("bench: spec field %s has kind %v, which %%v cannot key semantically; add explicit key handling or justify exclusion in unkeyedSpecFields", name, t.Kind()))
 	}
 }
 

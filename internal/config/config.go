@@ -141,6 +141,22 @@ type Config struct {
 	// CounterCache is the memory-controller counter cache.
 	CounterCache CacheConfig
 
+	// CounterCachePartition splits the counter cache into per-core
+	// partitions of CounterCache.SizeBytes/Cores each (associativity and
+	// set count adjusted to keep a valid geometry) instead of one shared
+	// cache. Partitioning isolates each core's counter working set from
+	// its neighbours' — the sharing-vs-isolation tradeoff the KV-serving
+	// experiment sweeps. No effect with one core.
+	CounterCachePartition bool
+
+	// PerCoreWriteQueues gives each core its own ADR write queue of
+	// WriteQueueEntries/Cores entries (minimum 2, to hold an atomic
+	// data+counter pair) over the shared banks, instead of one queue
+	// shared by all cores. Isolation removes cross-core admission
+	// interference at the cost of less statistical multiplexing of the
+	// queue capacity. No effect with one core.
+	PerCoreWriteQueues bool
+
 	// MemBytes is the NVM capacity in bytes.
 	MemBytes uint64
 	// Banks is the number of NVM banks.

@@ -35,15 +35,20 @@ type System struct {
 	eng    *sim.Engine
 	dev    *nvm.Device
 	layout nvm.Layout
-	mc     *memctrl.Controller
-	l3     *cache.Cache
+	// mcs holds the memory-controller write queues: one shared
+	// controller by default, or one per core under
+	// config.PerCoreWriteQueues. All controllers issue into the same
+	// banked device — bank state (busy windows, quarantine) lives there.
+	mcs []*memctrl.Controller
+	l3  *cache.Cache
 
-	// ctrCache is the memory controller's counter cache; ctrStore is
-	// the architectural counter state used to detect minor-counter
-	// overflow (contents are modelled byte-exactly in internal/machine,
-	// not here).
-	ctrCache *cache.Cache
-	ctrStore *ctr.Store
+	// ctrCaches holds the counter cache(s): one shared cache by default,
+	// or one per-core partition under config.CounterCachePartition.
+	// ctrStore is the architectural counter state used to detect
+	// minor-counter overflow (contents are modelled byte-exactly in
+	// internal/machine, not here).
+	ctrCaches []*cache.Cache
+	ctrStore  *ctr.Store
 
 	cores []*coreState
 	m     stats.Metrics
@@ -91,6 +96,12 @@ type coreState struct {
 	done    bool
 	m       stats.Metrics
 
+	// mc and ctrCache are this core's write queue and counter cache —
+	// the shared instances by default, or this core's own under the
+	// per-core-write-queue / counter-cache-partition knobs.
+	mc       *memctrl.Controller
+	ctrCache *cache.Cache
+
 	// Pre-allocated event objects and write-group scratch. A core
 	// executes one op at a time (the next step is scheduled only after
 	// every write group of the current op is accepted), so one step
@@ -133,7 +144,7 @@ func (j *opJob) dispatch() {
 		j.s.eng.AtObj(j.at, &j.c.step)
 		return
 	}
-	if err := j.s.mc.EnqueueTo(j.at, j.groups[j.i], j); err != nil {
+	if err := j.c.mc.EnqueueTo(j.at, j.groups[j.i], j); err != nil {
 		// The persist paths only build 1- or 2-entry groups, so this is
 		// an internal invariant break; stop the core and surface the
 		// error from Run.
@@ -212,23 +223,49 @@ func NewSystem(cfg config.Config) (*System, error) {
 			s.eng.SetLookahead(cfg.WriteCycles)
 		}
 	}
-	mc, err := memctrl.New(s.eng, s.dev, cfg.WriteQueueEntries, cfg.CWC(), &s.m)
-	if err != nil {
-		return nil, err
+	// One shared write queue by default; one per core (splitting the
+	// shared capacity) when the per-core knob is on. All controllers
+	// increment the same metrics block — the event loop is
+	// single-threaded, and the figures report the merged totals.
+	nmc, entries := 1, cfg.WriteQueueEntries
+	if cfg.PerCoreWriteQueues && cfg.Cores > 1 {
+		nmc = cfg.Cores
+		if entries = cfg.WriteQueueEntries / cfg.Cores; entries < 2 {
+			entries = 2 // room for an atomic data+counter pair
+		}
 	}
-	s.mc = mc
-	if cfg.ParallelEngine {
-		s.mc.SetPartitioned(true)
+	for i := 0; i < nmc; i++ {
+		mc, err := memctrl.New(s.eng, s.dev, entries, cfg.CWC(), &s.m)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ParallelEngine {
+			mc.SetPartitioned(true)
+		}
+		mc.SetResilience(cfg.ReadRetryLimit, cfg.ReadRetryBackoff, cfg.BankQuarantineThreshold)
+		s.mcs = append(s.mcs, mc)
 	}
-	s.mc.SetResilience(cfg.ReadRetryLimit, cfg.ReadRetryBackoff, cfg.BankQuarantineThreshold)
 	s.l3 = cache.New("L3", cfg.L3)
-	s.ctrCache = cache.New("ctrcache", cfg.CounterCache)
+	ncc, ccCfg := 1, cfg.CounterCache
+	if cfg.CounterCachePartition && cfg.Cores > 1 {
+		ncc = cfg.Cores
+		ccCfg = partitionCtrCache(cfg.CounterCache, cfg.Cores)
+	}
+	for i := 0; i < ncc; i++ {
+		name := "ctrcache"
+		if ncc > 1 {
+			name = fmt.Sprintf("ctrcache.%d", i)
+		}
+		s.ctrCaches = append(s.ctrCaches, cache.New(name, ccCfg))
+	}
 	s.ctrStore = ctr.NewStore()
 	for i := 0; i < cfg.Cores; i++ {
 		c := &coreState{
-			id: i,
-			l1: cache.New(fmt.Sprintf("L1.%d", i), cfg.L1),
-			l2: cache.New(fmt.Sprintf("L2.%d", i), cfg.L2),
+			id:       i,
+			l1:       cache.New(fmt.Sprintf("L1.%d", i), cfg.L1),
+			l2:       cache.New(fmt.Sprintf("L2.%d", i), cfg.L2),
+			mc:       s.mcs[i%len(s.mcs)],
+			ctrCache: s.ctrCaches[i%len(s.ctrCaches)],
 		}
 		c.step = stepEv{s: s, c: c}
 		c.job = opJob{s: s, c: c}
@@ -237,26 +274,53 @@ func NewSystem(cfg config.Config) (*System, error) {
 	return s, nil
 }
 
+// partitionCtrCache shrinks the shared counter-cache geometry to one
+// per-core partition: capacity divided by cores, associativity capped by
+// the partition size, and the set count rounded down to a power of two
+// so the partition is a valid cache.
+func partitionCtrCache(cc config.CacheConfig, cores int) config.CacheConfig {
+	size := cc.SizeBytes / cores
+	if size < config.LineSize {
+		size = config.LineSize
+	}
+	if cc.Ways*config.LineSize > size {
+		cc.Ways = size / config.LineSize
+	}
+	sets := size / (cc.Ways * config.LineSize)
+	pow2 := 1
+	for pow2*2 <= sets {
+		pow2 *= 2
+	}
+	cc.SizeBytes = pow2 * cc.Ways * config.LineSize
+	return cc
+}
+
 // SetRecorder attaches an observability recorder to the system and
 // every component under it. Call before Run; nil (the default) keeps
 // all instrumentation on the no-op path.
 func (s *System) SetRecorder(r *obs.Recorder) {
 	s.rec = r
-	s.mc.SetRecorder(r)
+	for _, mc := range s.mcs {
+		mc.SetRecorder(r)
+	}
 	s.dev.SetRecorder(r)
 	if r == nil {
 		s.eng.SetObserver(nil)
-		s.ctrCache.SetObserver(nil)
+		for _, cc := range s.ctrCaches {
+			cc.SetObserver(nil)
+		}
 		return
 	}
 	s.eng.SetObserver(r.EngineEvent)
-	s.ctrCache.SetObserver(func(hit bool) {
-		id := obs.SeriesCtrMisses
-		if hit {
-			id = obs.SeriesCtrHits
-		}
-		r.Count(id, s.eng.Now(), 1)
-	})
+	for _, cc := range s.ctrCaches {
+		cc.SetObserver(func(hit bool) {
+			id := obs.SeriesCtrMisses
+			if hit {
+				id = obs.SeriesCtrHits
+			}
+			r.Count(id, s.eng.Now(), 1)
+		})
+	}
 }
 
 // SetBankFaults attaches a bank-fault schedule to the NVM device (nil
@@ -288,10 +352,13 @@ func (s *System) Run(sources []trace.Source) (stats.Metrics, error) {
 		s.eng.AtObj(0, &c.step)
 	}
 	s.eng.Run()
-	// Flush the write queue's lazy tail so every accepted write reaches
+	// Flush the write queues' lazy tails so every accepted write reaches
 	// NVM and is counted.
-	for s.runErr == nil && !s.mc.Drained() {
-		s.mc.Flush(s.eng.Now())
+	for s.runErr == nil && !s.drained() {
+		now := s.eng.Now()
+		for _, mc := range s.mcs {
+			mc.Flush(now)
+		}
 		s.eng.Run()
 	}
 	if s.runErr != nil {
@@ -308,7 +375,7 @@ func (s *System) Run(sources []trace.Source) (stats.Metrics, error) {
 		m.Add(c.m)
 	}
 	m.Cycles = s.eng.Now()
-	cs := s.ctrCache.Stats()
+	cs := s.ctrStats()
 	m.CtrCacheHits = cs.Hits
 	m.CtrCacheMisses = cs.Misses
 	m.CtrEvictions = cs.Writebacks
@@ -328,6 +395,30 @@ func (s *System) Run(sources []trace.Source) (stats.Metrics, error) {
 		m.Cycles -= s.snapshotAt
 	}
 	return m, nil
+}
+
+// drained reports whether every write queue has fully retired.
+func (s *System) drained() bool {
+	for _, mc := range s.mcs {
+		if !mc.Drained() {
+			return false
+		}
+	}
+	return true
+}
+
+// ctrStats sums the counter-cache statistics over the shared cache or
+// the per-core partitions.
+func (s *System) ctrStats() cache.Stats {
+	var t cache.Stats
+	for _, cc := range s.ctrCaches {
+		cs := cc.Stats()
+		t.Hits += cs.Hits
+		t.Misses += cs.Misses
+		t.Evictions += cs.Evictions
+		t.Writebacks += cs.Writebacks
+	}
+	return t
 }
 
 // step executes the core's next operation.
@@ -353,6 +444,7 @@ func (s *System) step(c *coreState, now uint64) {
 			c.m.Transactions++
 			c.m.TxCycles += now - c.txStart
 			s.rec.Observe(obs.HistTxLatency, now-c.txStart)
+			s.rec.CoreObserve(c.id, now-c.txStart)
 			c.inTx = false
 		}
 		s.eng.AtObj(now, &c.step)
@@ -362,7 +454,7 @@ func (s *System) step(c *coreState, now uint64) {
 		s.resetsSeen++
 		if s.resetsSeen == len(s.cores) {
 			s.snapshot = s.m
-			s.ctrSnapshot = s.ctrCache.Stats()
+			s.ctrSnapshot = s.ctrStats()
 			s.snapshotAt = now
 			s.haveSnapshot = true
 			// Histograms report measured transactions only, mirroring
@@ -424,7 +516,7 @@ func (s *System) readPath(c *coreState, now, line uint64, fillDirty bool) (lat u
 	// Memory read: the data read and the OTP generation proceed in
 	// parallel (Figure 2b); the load completes when both are done.
 	reqAt := now + lat
-	dataDone := s.mc.ReadLine(reqAt, line)
+	dataDone := c.mc.ReadLine(reqAt, line)
 	readyAt := dataDone
 	if s.cfg.Scheme.Encrypted() {
 		ctrReady := s.counterForRead(c, reqAt, line)
@@ -510,10 +602,10 @@ func (s *System) securePersist(c *coreState, t, line uint64, charge bool) (lat u
 	ctrAddr := s.layout.CounterLineAddr(line, s.placement)
 
 	// Locate the counter line; fetch it from NVM on a miss.
-	if s.ctrCache.Access(ctrAddr, !writeThrough) {
+	if c.ctrCache.Access(ctrAddr, !writeThrough) {
 		lat = s.cfg.CounterCache.LatencyCycles
 	} else {
-		done := s.mc.ReadLine(t, ctrAddr)
+		done := c.mc.ReadLine(t, ctrAddr)
 		lat = done - t
 		s.fillCtr(c, ctrAddr, !writeThrough)
 	}
@@ -596,10 +688,10 @@ func (s *System) persistTreeNodes(c *coreState, t, page uint64) {
 // to the core's group buffer).
 func (s *System) counterForRead(c *coreState, t, line uint64) (readyAt uint64) {
 	ctrAddr := s.layout.CounterLineAddr(line, s.placement)
-	if s.ctrCache.Access(ctrAddr, false) {
+	if c.ctrCache.Access(ctrAddr, false) {
 		return t + s.cfg.CounterCache.LatencyCycles
 	}
-	done := s.mc.ReadLine(t, ctrAddr)
+	done := c.mc.ReadLine(t, ctrAddr)
 	s.fillCtr(c, ctrAddr, false)
 	return done
 }
@@ -607,7 +699,7 @@ func (s *System) counterForRead(c *coreState, t, line uint64) (readyAt uint64) {
 // fillCtr installs a counter line in the counter cache; a displaced
 // dirty counter line (write-back schemes only) must be written to NVM.
 func (s *System) fillCtr(c *coreState, ctrAddr uint64, dirty bool) {
-	if v, ev := s.ctrCache.Fill(ctrAddr, dirty); ev && v.Dirty {
+	if v, ev := c.ctrCache.Fill(ctrAddr, dirty); ev && v.Dirty {
 		c.gb.add1(memctrl.Entry{Addr: v.Addr, Counter: true})
 	}
 }
@@ -625,7 +717,7 @@ func (s *System) reencryptPage(c *coreState, t uint64, page uint64) (lat uint64)
 	for i := uint64(0); i < config.LinesPerPage; i++ {
 		line := base + i*config.LineSize
 		if !c.l1.Contains(line) && !c.l2.Contains(line) && !s.l3.Contains(line) {
-			if done := s.mc.ReadLine(t, line); done > readsDone {
+			if done := c.mc.ReadLine(t, line); done > readsDone {
 				readsDone = done
 			}
 		}

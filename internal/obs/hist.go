@@ -61,6 +61,31 @@ func (h *Histogram) Observe(v uint64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Merge folds other's observations into h. Bucket boundaries are fixed
+// by construction (the same for every histogram), so merging is exact:
+// the result equals observing both value streams into one histogram,
+// and any merge order — any shard completion order — produces identical
+// counts, and therefore identical quantiles.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, bucketOf(^uint64(0))+1)
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
 // Reset discards all observations (keeping the bucket storage).
 func (h *Histogram) Reset() {
 	for i := range h.counts {

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistogramMergeOrderIndependent: merging per-shard histograms must
+// yield the same snapshot regardless of shard completion order, and the
+// merged quantiles must match observing every value into one histogram.
+func TestHistogramMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const shards = 5
+	parts := make([]Histogram, shards)
+	var direct Histogram
+	var all []uint64
+	for k := 0; k < shards; k++ {
+		// Give each shard a different latency profile so a wrong merge
+		// (e.g. one that keeps only the last min/max) is caught.
+		base := uint64(1) << uint(4+2*k)
+		n := 500 + 700*k
+		for i := 0; i < n; i++ {
+			v := base + uint64(rng.Intn(int(base)))
+			parts[k].Observe(v)
+			direct.Observe(v)
+			all = append(all, v)
+		}
+	}
+
+	orders := [][]int{
+		{0, 1, 2, 3, 4},
+		{4, 3, 2, 1, 0},
+		{2, 0, 4, 1, 3},
+		{3, 4, 0, 2, 1},
+	}
+	var first HistSnapshot
+	for oi, order := range orders {
+		var merged Histogram
+		for _, k := range order {
+			merged.Merge(&parts[k])
+		}
+		s := merged.Snapshot()
+		if oi == 0 {
+			first = s
+		} else if s != first {
+			t.Fatalf("order %v: snapshot %+v differs from order %v: %+v",
+				order, s, orders[0], first)
+		}
+		want := direct.Snapshot()
+		if s != want {
+			t.Fatalf("order %v: merged snapshot %+v != direct-observe snapshot %+v",
+				order, s, want)
+		}
+		// Validate merged quantiles against the sorted-slice oracle, same
+		// bound as TestHistogramQuantileOracle.
+		sorted := append([]uint64(nil), all...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			rank := int(q*float64(len(sorted)) + 0.5)
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > len(sorted) {
+				rank = len(sorted)
+			}
+			oracle := sorted[rank-1]
+			got := merged.Quantile(q)
+			if got < oracle {
+				t.Errorf("order %v q=%v: got %d < oracle %d", order, q, got, oracle)
+			}
+			if bound := oracle + oracle/subCount + 1; got > bound {
+				t.Errorf("order %v q=%v: got %d > bound %d (oracle %d)", order, q, got, bound, oracle)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeEdgeCases: merging nil or empty histograms is a
+// no-op, and merging into an empty histogram copies the source.
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	var h Histogram
+	h.Observe(100)
+	before := h.Snapshot()
+	h.Merge(nil)
+	var empty Histogram
+	h.Merge(&empty)
+	if h.Snapshot() != before {
+		t.Fatalf("merge of nil/empty changed snapshot: %+v -> %+v", before, h.Snapshot())
+	}
+
+	var src Histogram
+	src.Observe(7)
+	src.Observe(9000)
+	var dst Histogram
+	dst.Merge(&src)
+	if dst.Snapshot() != src.Snapshot() {
+		t.Fatalf("merge into empty: %+v != source %+v", dst.Snapshot(), src.Snapshot())
+	}
+	if q := dst.Quantile(1.0); q < 9000 {
+		t.Fatalf("merged max quantile %d < 9000", q)
+	}
+}
+
+// TestCoreObserve: per-core histograms are independent, nil-safe, and
+// reset with the recorder's other histograms.
+func TestCoreObserve(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.CoreObserve(3, 10) // must not panic
+	if nilRec.CoreTxHist(3) != nil {
+		t.Fatal("nil recorder returned a core histogram")
+	}
+
+	r := NewRecorder(Options{Window: 100})
+	r.CoreObserve(2, 50)
+	r.CoreObserve(0, 5)
+	r.CoreObserve(2, 70)
+	if h := r.CoreTxHist(1); h == nil || h.Count() != 0 {
+		t.Fatalf("untouched core 1 histogram: %v", h)
+	}
+	if h := r.CoreTxHist(2); h.Count() != 2 {
+		t.Fatalf("core 2 count = %d, want 2", h.Count())
+	}
+	if r.CoreTxHist(9) != nil {
+		t.Fatal("out-of-range core returned a histogram")
+	}
+	r.ResetHists()
+	if h := r.CoreTxHist(2); h.Count() != 0 {
+		t.Fatalf("core 2 count after ResetHists = %d, want 0", h.Count())
+	}
+}

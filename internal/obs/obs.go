@@ -90,12 +90,13 @@ type Options struct {
 //
 // A nil *Recorder is the disabled recorder: every method no-ops.
 type Recorder struct {
-	window uint64
-	hists  [numHists]Histogram
-	series [numSeries]series
-	banks  []series // per-bank busy-cycle accumulators
-	trace  *TraceBuffer
-	end    uint64 // final cycle, set by Finish
+	window    uint64
+	hists     [numHists]Histogram
+	coreHists []Histogram // per-core tx-latency histograms (CoreObserve)
+	series    [numSeries]series
+	banks     []series // per-bank busy-cycle accumulators
+	trace     *TraceBuffer
+	end       uint64 // final cycle, set by Finish
 }
 
 // NewRecorder returns an enabled recorder.
@@ -139,6 +140,30 @@ func (r *Recorder) Observe(h HistID, v uint64) {
 		return
 	}
 	r.hists[h].Observe(v)
+}
+
+// CoreObserve records a per-core transaction latency: the value lands in
+// core's own histogram, alongside the merged HistTxLatency the caller
+// records with Observe. Sharded experiments read the per-core histograms
+// back with CoreTxHist to report per-shard tails and to Merge them into
+// cross-shard quantiles.
+func (r *Recorder) CoreObserve(core int, v uint64) {
+	if r == nil {
+		return
+	}
+	for len(r.coreHists) <= core {
+		r.coreHists = append(r.coreHists, Histogram{})
+	}
+	r.coreHists[core].Observe(v)
+}
+
+// CoreTxHist returns core's tx-latency histogram, or nil when that core
+// never recorded one.
+func (r *Recorder) CoreTxHist(core int) *Histogram {
+	if r == nil || core < 0 || core >= len(r.coreHists) {
+		return nil
+	}
+	return &r.coreHists[core]
 }
 
 // Count adds n occurrences to a counting series at cycle now.
@@ -241,6 +266,9 @@ func (r *Recorder) ResetHists() {
 	}
 	for i := range r.hists {
 		r.hists[i].Reset()
+	}
+	for i := range r.coreHists {
+		r.coreHists[i].Reset()
 	}
 }
 

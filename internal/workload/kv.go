@@ -1,0 +1,366 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"supermem/internal/alloc"
+	"supermem/internal/config"
+	"supermem/internal/pmem"
+)
+
+// kvShard is one shard of the sharded KV-serving workload ("kv"): a
+// chained-hash persistent store serving a YCSB-style request stream of
+// get/update/insert/delete/scan with Zipfian key popularity. Unlike the
+// paper's five microbenchmarks (fixed op sequences), the request mix and
+// skew are configurable, which is the server-shaped traffic the
+// multi-core counter-cache and write-queue knobs are evaluated under.
+//
+// Layout:
+//
+//	bucket array: one 8-byte chain-head slot per initial key (0 = empty).
+//	item: [0:8] key, [8:16] next pointer, [16:20] version,
+//	[20:24] value length, value bytes from offset 24.
+//
+// Reads (get/scan) run as Begin/Abort transactions: the TxBegin/TxEnd
+// markers bound the request so its latency lands in the histograms, and
+// aborting stages no writes — a read-only request.
+type kvShard struct {
+	heap       *alloc.Heap
+	cfg        KVConfig
+	buckets    uint64 // base of the bucket array
+	nbuckets   uint64
+	keys       uint64 // initial keyspace size (Zipf domain)
+	valueBytes int
+	scanLen    int
+	cut        [4]int // cumulative mix cuts: get, update, insert, delete
+	rng        *rand.Rand
+	zipf       *Zipf
+	live       map[uint64]uint32 // stored key -> current version (Verify bookkeeping)
+	nextFresh  uint64            // logical ids handed to inserts
+}
+
+// KVConfig parameterizes the "kv" workload. The zero value of each field
+// selects a default, so existing Params literals stay valid.
+type KVConfig struct {
+	// Keys is the initially loaded keyspace (and Zipf domain) of this
+	// shard; 0 defaults to Params.Items.
+	Keys int
+	// ValueBytes is the stored value size; 0 derives it from
+	// Params.TxBytes like the other workloads.
+	ValueBytes int
+	// ReadPct, UpdatePct, InsertPct, DeletePct, ScanPct set the request
+	// mix in percent and must sum to 100; all zero selects a YCSB-B-style
+	// 95/5 read/update mix.
+	ReadPct, UpdatePct, InsertPct, DeletePct, ScanPct int
+	// ScanLen is the number of consecutive logical keys per scan request
+	// (a multiget under chained hashing); 0 defaults to 16.
+	ScanLen int
+	// Theta is the Zipfian skew of key popularity, in [0,1); 0 is
+	// uniform, YCSB's default is 0.99.
+	Theta float64
+	// Shard is this instance's shard index. The request stream is a pure
+	// function of (Params.Seed, Shard) via ShardSeed, so any subset of
+	// shards regenerates identically in any order.
+	Shard int
+}
+
+const kvItemHeader = 24
+
+func newKV(p Params) (*kvShard, error) {
+	cfg := p.KV
+	if cfg.Keys == 0 {
+		cfg.Keys = p.Items
+	}
+	if cfg.ScanLen == 0 {
+		cfg.ScanLen = 16
+	}
+	mixSum := cfg.ReadPct + cfg.UpdatePct + cfg.InsertPct + cfg.DeletePct + cfg.ScanPct
+	if mixSum == 0 {
+		cfg.ReadPct, cfg.UpdatePct = 95, 5
+		mixSum = 100
+	}
+	if mixSum != 100 {
+		return nil, fmt.Errorf("kv: request mix sums to %d, want 100", mixSum)
+	}
+	valueBytes := cfg.ValueBytes
+	if valueBytes == 0 {
+		valueBytes = p.TxBytes - kvItemHeader - 8 // minus the chain-pointer write
+	}
+	if valueBytes < 8 {
+		valueBytes = 8
+	}
+	n := uint64(cfg.Keys)
+	base, err := p.Heap.Alloc(n * 8)
+	if err != nil {
+		return nil, fmt.Errorf("kv: %w", err)
+	}
+	rng := newRand(ShardSeed(p.Seed, cfg.Shard))
+	zipf, err := NewZipf(rng, n, cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	w := &kvShard{
+		heap:       p.Heap,
+		cfg:        cfg,
+		buckets:    base,
+		nbuckets:   n,
+		keys:       n,
+		valueBytes: valueBytes,
+		scanLen:    cfg.ScanLen,
+		rng:        rng,
+		zipf:       zipf,
+		live:       make(map[uint64]uint32, cfg.Keys),
+	}
+	w.cut[0] = cfg.ReadPct
+	w.cut[1] = w.cut[0] + cfg.UpdatePct
+	w.cut[2] = w.cut[1] + cfg.InsertPct
+	w.cut[3] = w.cut[2] + cfg.DeletePct
+	return w, nil
+}
+
+func (w *kvShard) Name() string { return "kv" }
+
+// storedKey maps a logical key id to the stored key: the shard index in
+// the high bits keeps keyspaces disjoint across shards, and the +1s keep
+// 0 (the empty chain-head sentinel) out of the key domain.
+func (w *kvShard) storedKey(logical uint64) uint64 {
+	return (uint64(w.cfg.Shard+1) << 40) | (logical + 1)
+}
+
+// hotLogical draws a Zipf rank and scrambles it over the initial
+// keyspace, so the hot set scatters across buckets instead of
+// clustering. The scramble is a fixed map, not a bijection: some logical
+// ids are never drawn, so a slice of requests miss — as YCSB's do.
+func (w *kvShard) hotLogical() uint64 {
+	return hashKey(w.zipf.Next()+1) % w.keys
+}
+
+func (w *kvShard) bucketAddr(key uint64) uint64 {
+	return w.buckets + (hashKey(key)%w.nbuckets)*8
+}
+
+// kvTag derives the deterministic payload pattern of (key, version), so
+// Verify can detect both corrupt and stale values.
+func kvTag(key uint64, version uint32) uint64 {
+	return key ^ uint64(version)*0x9E3779B97F4A7C15
+}
+
+// Setup preloads the initial keyspace with plain flushed stores. Chain
+// heads are mirrored in a volatile array during the load so each bucket
+// slot is written once, keeping the setup op stream linear in Keys.
+func (w *kvShard) Setup(tm *pmem.TxManager) error {
+	b := tm.Backend()
+	zero := make([]byte, config.LineSize)
+	for off := uint64(0); off < w.nbuckets*8; off += config.LineSize {
+		n := w.nbuckets*8 - off
+		if n > config.LineSize {
+			n = config.LineSize
+		}
+		setupStore(b, w.buckets+off, zero[:n])
+	}
+	heads := make([]uint64, w.nbuckets)
+	item := make([]byte, kvItemHeader+w.valueBytes)
+	for l := uint64(0); l < w.keys; l++ {
+		key := w.storedKey(l)
+		bidx := hashKey(key) % w.nbuckets
+		put64(item[0:8], key)
+		put64(item[8:16], heads[bidx])
+		put32(item[16:20], 1)
+		put32(item[20:24], uint32(w.valueBytes))
+		fill(item[kvItemHeader:], kvTag(key, 1))
+		addr, err := w.heap.Alloc(uint64(len(item)))
+		if err != nil {
+			return fmt.Errorf("kv: setup: %w", err)
+		}
+		setupStore(b, addr, item)
+		heads[bidx] = addr
+		w.live[key] = 1
+	}
+	for i, h := range heads {
+		if h != 0 {
+			setupStore(b, w.buckets+uint64(i)*8, u64bytes(h))
+		}
+	}
+	return nil
+}
+
+// Step serves one request drawn from the configured mix.
+func (w *kvShard) Step(tm *pmem.TxManager) error {
+	r := w.rng.Intn(100)
+	switch {
+	case r < w.cut[0]:
+		return w.opGet(tm)
+	case r < w.cut[1]:
+		return w.opUpdate(tm)
+	case r < w.cut[2]:
+		return w.opInsert(tm)
+	case r < w.cut[3]:
+		return w.opDelete(tm)
+	default:
+		return w.opScan(tm)
+	}
+}
+
+// find walks key's chain through the backend. It returns the item's
+// address and header, plus the address of the pointer that references it
+// (the bucket slot or the predecessor's next field) for unlinking.
+func (w *kvShard) find(b pmem.Backend, key uint64) (addr, ptrAddr uint64, hdr []byte, ok bool) {
+	ptrAddr = w.bucketAddr(key)
+	cur := le64(b.Load(ptrAddr, 8))
+	for cur != 0 {
+		h := b.Load(cur, kvItemHeader)
+		if le64(h[0:8]) == key {
+			return cur, ptrAddr, h, true
+		}
+		ptrAddr = cur + 8
+		cur = le64(h[8:16])
+	}
+	return 0, ptrAddr, nil, false
+}
+
+func (w *kvShard) opGet(tm *pmem.TxManager) error {
+	tx := tm.Begin()
+	b := tm.Backend()
+	key := w.storedKey(w.hotLogical())
+	if addr, _, hdr, ok := w.find(b, key); ok {
+		b.Load(addr+kvItemHeader, int(le32(hdr[20:24])))
+	}
+	tx.Abort() // read-only: no writes staged, TxEnd bounds the request
+	return nil
+}
+
+func (w *kvShard) opUpdate(tm *pmem.TxManager) error {
+	tx := tm.Begin()
+	b := tm.Backend()
+	key := w.storedKey(w.hotLogical())
+	addr, _, hdr, ok := w.find(b, key)
+	if !ok {
+		// Upsert: an update of an absent key inserts it.
+		return w.insert(tm, tx, key)
+	}
+	ver := le32(hdr[16:20]) + 1
+	var vb [4]byte
+	put32(vb[:], ver)
+	value := make([]byte, w.valueBytes)
+	fill(value, kvTag(key, ver))
+	tx.Write(addr+16, vb[:])
+	tx.Write(addr+kvItemHeader, value)
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("kv: update: %w", err)
+	}
+	w.live[key] = ver
+	return nil
+}
+
+func (w *kvShard) opInsert(tm *pmem.TxManager) error {
+	tx := tm.Begin()
+	b := tm.Backend()
+	// Fresh logical ids start past the initial keyspace, so inserts never
+	// collide with loaded or previously inserted keys.
+	key := w.storedKey(w.keys + w.nextFresh)
+	w.nextFresh++
+	// Probe the chain as a real insert must to reject duplicates.
+	if _, _, _, ok := w.find(b, key); ok {
+		return fmt.Errorf("kv: fresh key %d already present", key)
+	}
+	return w.insert(tm, tx, key)
+}
+
+// insert links a new item for key at its chain head inside tx. The item
+// body is a fresh unreachable extent (persisted before the log seals,
+// not logged); the chain-head flip is the logged atomic switch.
+func (w *kvShard) insert(tm *pmem.TxManager, tx *pmem.Tx, key uint64) error {
+	b := tm.Backend()
+	bucket := w.bucketAddr(key)
+	head := le64(b.Load(bucket, 8))
+	item := make([]byte, kvItemHeader+w.valueBytes)
+	put64(item[0:8], key)
+	put64(item[8:16], head)
+	put32(item[16:20], 1)
+	put32(item[20:24], uint32(w.valueBytes))
+	fill(item[kvItemHeader:], kvTag(key, 1))
+	addr, err := w.heap.Alloc(uint64(len(item)))
+	if err != nil {
+		return fmt.Errorf("kv: %w", err)
+	}
+	tx.WriteFresh(addr, item)
+	tx.Write(bucket, u64bytes(addr))
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("kv: insert: %w", err)
+	}
+	w.live[key] = 1
+	return nil
+}
+
+func (w *kvShard) opDelete(tm *pmem.TxManager) error {
+	tx := tm.Begin()
+	b := tm.Backend()
+	key := w.storedKey(w.hotLogical())
+	addr, ptrAddr, hdr, ok := w.find(b, key)
+	if !ok {
+		tx.Abort()
+		return nil
+	}
+	// Unlink by pointing the referencing slot past the item.
+	tx.Write(ptrAddr, u64bytes(le64(hdr[8:16])))
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("kv: delete: %w", err)
+	}
+	delete(w.live, key)
+	w.heap.Free(addr, uint64(kvItemHeader+int(le32(hdr[20:24]))))
+	return nil
+}
+
+// opScan is a multiget over scanLen consecutive logical keys starting at
+// a hot key — "consecutive" in the logical keyspace; under chained
+// hashing each key is its own probe, as in a sharded store's MGET.
+func (w *kvShard) opScan(tm *pmem.TxManager) error {
+	tx := tm.Begin()
+	b := tm.Backend()
+	start := w.hotLogical()
+	for j := 0; j < w.scanLen; j++ {
+		key := w.storedKey((start + uint64(j)) % w.keys)
+		if addr, _, hdr, ok := w.find(b, key); ok {
+			b.Load(addr+kvItemHeader, int(le32(hdr[20:24])))
+		}
+	}
+	tx.Abort()
+	return nil
+}
+
+func (w *kvShard) Verify(b pmem.Backend) error {
+	found := 0
+	for i := uint64(0); i < w.nbuckets; i++ {
+		cur := le64(b.Load(w.buckets+i*8, 8))
+		hops := 0
+		for cur != 0 {
+			hdr := b.Load(cur, kvItemHeader)
+			key := le64(hdr[0:8])
+			if hashKey(key)%w.nbuckets != i {
+				return fmt.Errorf("kv: key %d found in bucket %d, want %d", key, i, hashKey(key)%w.nbuckets)
+			}
+			ver, ok := w.live[key]
+			if !ok {
+				return fmt.Errorf("kv: phantom key %d (deleted or never inserted)", key)
+			}
+			if got := le32(hdr[16:20]); got != ver {
+				return fmt.Errorf("kv: key %d version %d, want %d", key, got, ver)
+			}
+			if vlen := int(le32(hdr[20:24])); vlen != w.valueBytes {
+				return fmt.Errorf("kv: key %d value length %d, want %d", key, vlen, w.valueBytes)
+			} else if !checkFill(b.Load(cur+kvItemHeader, vlen), kvTag(key, ver)) {
+				return fmt.Errorf("kv: key %d payload corrupt", key)
+			}
+			found++
+			cur = le64(hdr[8:16])
+			if hops++; hops > len(w.live)+1 {
+				return fmt.Errorf("kv: cycle in bucket %d", i)
+			}
+		}
+	}
+	if found != len(w.live) {
+		return fmt.Errorf("kv: found %d items, live %d", found, len(w.live))
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"supermem/internal/alloc"
+	"supermem/internal/pmem"
+	"supermem/internal/trace"
+)
+
+func kvParams(t *testing.T, cfg KVConfig) Params {
+	t.Helper()
+	p := testParams(t, 256, 64)
+	p.KV = cfg
+	return p
+}
+
+// TestKVRunAndVerify: the full request mix (reads, updates, inserts,
+// deletes, scans) leaves a structure Verify accepts.
+func TestKVRunAndVerify(t *testing.T) {
+	p := kvParams(t, KVConfig{
+		Keys: 128, ReadPct: 20, UpdatePct: 20, InsertPct: 20, DeletePct: 20, ScanPct: 20,
+	})
+	runSteps(t, "kv", p, 400)
+}
+
+func TestKVDefaultMix(t *testing.T) {
+	// Zero mix selects the default 95/5 read/update serving mix.
+	runSteps(t, "kv", kvParams(t, KVConfig{Keys: 64, Theta: 0.99}), 200)
+}
+
+func TestKVMixValidation(t *testing.T) {
+	p := kvParams(t, KVConfig{Keys: 64, ReadPct: 50, UpdatePct: 20})
+	if _, err := New("kv", p); err == nil {
+		t.Fatal("mix summing to 70 accepted")
+	}
+}
+
+// kvShardOps records the full op stream (setup + steps) of one shard.
+func kvShardOps(t *testing.T, seed int64, shard, steps int) []trace.Op {
+	t.Helper()
+	h, err := alloc.NewHeap(
+		alloc.Region{Base: heapBase, Size: 64 << 20},
+		alloc.Region{Base: 128 << 20, Size: 64 << 20},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{Heap: h, TxBytes: 256, Items: 64, Seed: seed,
+		KV: KVConfig{Keys: 128, Theta: 0.99, Shard: shard}}
+	w, err := New("kv", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pmem.NewTracingBackend()
+	tm := pmem.NewTxManager(b, testLogBase, testLogSize)
+	if err := w.Setup(tm); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		if err := w.Step(tm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Ops()
+}
+
+// TestKVShardStreamsIndependent: concurrent shards must never share RNG
+// state. Each shard's stream is a pure function of (Seed, shard), so
+// generating all shards concurrently must reproduce, op for op, the
+// streams generated one shard at a time. If the shards shared a
+// *rand.Rand (the bug this guards against), the concurrent build would
+// interleave draws — the streams would diverge, and `go test -race`
+// would flag the data race on the generator's internal state.
+func TestKVShardStreamsIndependent(t *testing.T) {
+	const shards, steps, seed = 4, 120, 42
+
+	serial := make([][]trace.Op, shards)
+	for k := 0; k < shards; k++ {
+		serial[k] = kvShardOps(t, seed, k, steps)
+	}
+
+	concurrent := make([][]trace.Op, shards)
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			concurrent[k] = kvShardOps(t, seed, k, steps)
+		}(k)
+	}
+	wg.Wait()
+
+	for k := 0; k < shards; k++ {
+		if len(serial[k]) != len(concurrent[k]) {
+			t.Fatalf("shard %d: %d ops serial vs %d concurrent",
+				k, len(serial[k]), len(concurrent[k]))
+		}
+		for i := range serial[k] {
+			if serial[k][i] != concurrent[k][i] {
+				t.Fatalf("shard %d op %d: serial %+v vs concurrent %+v",
+					k, i, serial[k][i], concurrent[k][i])
+			}
+		}
+	}
+
+	// Distinct shards of one seed must not replay each other's stream.
+	same := true
+	n := len(serial[0])
+	if len(serial[1]) != n {
+		same = false
+	}
+	for i := 0; same && i < n; i++ {
+		if serial[0][i] != serial[1][i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("shard 0 and shard 1 produced identical op streams")
+	}
+}

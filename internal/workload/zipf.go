@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// splitmix64 is the SplitMix64 output function: a full-avalanche mixer,
+// so nearby inputs map to far-apart outputs.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// ShardSeed derives the RNG seed of shard k from the workload base seed.
+// It is a pure function of (seed, shard), so shard k's whole request
+// stream can be regenerated in isolation — the property behind the
+// serial==parallel byte-identity of sharded trace builds. The
+// splitmix64-style mixing keeps distinct (seed, shard) pairs from
+// colliding; an additive derivation like seed + k*prime collides as soon
+// as two base seeds differ by a multiple of the stride. The seed is
+// mixed before the shard index is folded in (not XORed symmetrically),
+// so (seed, shard) and (shard, seed) derive different streams too.
+func ShardSeed(seed int64, shard int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) + uint64(shard)))
+}
+
+// Zipf draws ranks in [0, n) with P(rank) proportional to 1/(rank+1)^theta
+// — the YCSB Zipfian request distribution (Gray et al., "Quickly
+// Generating Billion-Record Synthetic Databases"). theta must be in
+// [0, 1): 0 is uniform, YCSB's default skew is 0.99. math/rand's Zipf
+// requires an exponent > 1 and cannot express this regime.
+//
+// Rank 0 is the most popular key. Callers scramble ranks over the
+// keyspace (hashKey) so the hot set scatters across buckets and pages
+// instead of clustering at low addresses.
+type Zipf struct {
+	rng          *rand.Rand
+	n            uint64
+	theta        float64
+	alpha        float64
+	zetan        float64
+	eta          float64
+	halfPowTheta float64
+}
+
+// NewZipf builds a generator over ranks [0, n) drawing randomness from
+// rng. The generator is deterministic given the rng's seed.
+func NewZipf(rng *rand.Rand, n uint64, theta float64) (*Zipf, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("workload: zipf over empty keyspace")
+	}
+	if theta < 0 || theta >= 1 {
+		return nil, fmt.Errorf("workload: zipf theta %v outside [0,1)", theta)
+	}
+	z := &Zipf{rng: rng, n: n, theta: theta}
+	if theta > 0 {
+		z.zetan = zeta(n, theta)
+		z.alpha = 1 / (1 - theta)
+		z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+		z.halfPowTheta = math.Pow(0.5, theta)
+	}
+	return z, nil
+}
+
+// Next draws one rank.
+func (z *Zipf) Next() uint64 {
+	if z.theta == 0 {
+		return uint64(z.rng.Int63n(int64(z.n)))
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.halfPowTheta {
+		return 1
+	}
+	r := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n { // guard float rounding at the tail
+		r = z.n - 1
+	}
+	return r
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}. It is O(n),
+// so results are memoized per (n, theta) — the computation is a pure
+// function, so concurrent shards racing to fill the cache store the same
+// value and determinism is unaffected.
+var zetaCache sync.Map // zetaKey -> float64
+
+type zetaKey struct {
+	n     uint64
+	theta float64
+}
+
+func zeta(n uint64, theta float64) float64 {
+	k := zetaKey{n, theta}
+	if v, ok := zetaCache.Load(k); ok {
+		return v.(float64)
+	}
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	zetaCache.Store(k, sum)
+	return sum
+}

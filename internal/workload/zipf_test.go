@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShardSeedDistinct: shard seeds must be pairwise distinct across
+// (base seed, shard) pairs whose naive additive derivations collide.
+// Under the old seed + shard*7919 rule, base seeds differing by a
+// multiple of the stride alias each other's shard streams — e.g.
+// (seed=1, shard=1) and (seed=7920, shard=0) both produced 7920, so two
+// different experiments silently served identical request streams.
+func TestShardSeedDistinct(t *testing.T) {
+	seeds := []int64{1, 2, 7920, 15839, 42}
+	seen := make(map[int64][2]int64)
+	for _, s := range seeds {
+		for k := 0; k < 64; k++ {
+			d := ShardSeed(s, k)
+			if prev, dup := seen[d]; dup {
+				t.Fatalf("ShardSeed(%d, %d) == ShardSeed(%d, %d) == %d",
+					s, k, prev[0], prev[1], d)
+			}
+			seen[d] = [2]int64{s, int64(k)}
+		}
+	}
+}
+
+// TestShardSeedPure: the derivation is a pure function of (seed, shard),
+// so shard k's stream can be regenerated in isolation at any time.
+func TestShardSeedPure(t *testing.T) {
+	for k := 0; k < 8; k++ {
+		if a, b := ShardSeed(99, k), ShardSeed(99, k); a != b {
+			t.Fatalf("ShardSeed(99, %d) not deterministic: %d vs %d", k, a, b)
+		}
+	}
+	if ShardSeed(1, 0) == ShardSeed(2, 0) {
+		t.Fatal("adjacent base seeds collide at shard 0")
+	}
+}
+
+// TestZipfSkew: at theta 0.99 rank 0 dominates; at theta 0 the draw is
+// close to uniform.
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 1000, 200_000
+
+	z, err := NewZipf(rand.New(rand.NewSource(1)), n, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] < draws/10 {
+		t.Errorf("theta=0.99: rank 0 drawn %d/%d times, want a dominant hot key", counts[0], draws)
+	}
+	for r := 1; r < n; r++ {
+		if counts[r] > counts[0] {
+			t.Errorf("theta=0.99: rank %d (%d draws) beat rank 0 (%d draws)", r, counts[r], counts[0])
+		}
+	}
+
+	u, err := NewZipf(rand.New(rand.NewSource(1)), n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucounts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		ucounts[u.Next()]++
+	}
+	mean := draws / n
+	for r, c := range ucounts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("theta=0: rank %d drawn %d times, want near %d", r, c, mean)
+		}
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewZipf(rng, 0, 0.5); err == nil {
+		t.Error("empty keyspace accepted")
+	}
+	for _, theta := range []float64{-0.1, 1.0, 1.5} {
+		if _, err := NewZipf(rng, 10, theta); err == nil {
+			t.Errorf("theta %v accepted", theta)
+		}
+	}
+}
+
+// TestZipfDeterministic: same seed, same stream.
+func TestZipfDeterministic(t *testing.T) {
+	draw := func() []uint64 {
+		z, err := NewZipf(rand.New(rand.NewSource(5)), 512, 0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]uint64, 100)
+		for i := range out {
+			out[i] = z.Next()
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -350,6 +350,28 @@ func ExtensionOsiris(cfg Config, o ExperimentOpts) (latency, writes *Table, err 
 	return bench.ExtensionOsiris(cfg, o.internal())
 }
 
+type (
+	// KVOpts sizes the KV-serving experiment grid (shards, schemes,
+	// Zipfian skews, keyspace, request mix).
+	KVOpts = bench.KVOpts
+	// KVResult is the KV-serving experiment's deterministic artifact
+	// payload (the BENCH_kv.json body).
+	KVResult = bench.KVResult
+	// KVCell is one (theta, shards, scheme) grid point with cross-shard
+	// request-latency quantiles.
+	KVCell = bench.KVCell
+)
+
+// KVServe runs the sharded KV-serving experiment: per-shard YCSB-style
+// Zipfian request streams over a hash-sharded persistent KV store,
+// served on a multi-core system, with p99 request latency as the
+// headline metric and shared-vs-partitioned counter-cache /
+// per-core-write-queue variants at the largest shard count. The result
+// is byte-identical at any Parallel setting.
+func KVServe(cfg Config, o ExperimentOpts, ko KVOpts) (*KVResult, error) {
+	return bench.KVServe(cfg, o.internal(), ko)
+}
+
 // CrashMode selects the persistence design of the byte-accurate crash
 // machine (richer than Scheme: it distinguishes battery variants and
 // the register ablation).
