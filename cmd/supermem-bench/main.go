@@ -15,6 +15,8 @@
 //	supermem-bench -exp faultsweep -fault-strict -json   # CI gate + artifact
 //	supermem-bench -exp kv                    # sharded KV serving under Zipfian skew
 //	supermem-bench -exp kv -kv-shards 8 -kv-skew 0.99 -kv-mix 50,30,10,5,5 -json
+//	supermem-bench -exp attack                # persistence-based attacks vs mitigations
+//	supermem-bench -exp attack -attack-strict -json      # CI gate + artifact
 //	supermem-bench -exp all                   # everything
 //	supermem-bench -exp all -parallel 1       # serial (identical output)
 //	supermem-bench -exp fig13 -json           # also write BENCH_fig13_*.json
@@ -70,7 +72,7 @@ type artifact struct {
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, osiris, faultsweep, integrity, kv, all")
+		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, osiris, faultsweep, integrity, kv, attack, all")
 		faultStrict  = flag.Bool("fault-strict", false, "exit non-zero if the faultsweep or integrity experiments violate their detection claims (silent corruption, unflagged replays, dead quarantine cell)")
 		faultSeed    = flag.Int64("fault-seed", 0, "base seed for the faultsweep's generated plans (0 = default)")
 		csv          = flag.Bool("csv", false, "print tables as CSV instead of aligned text")
@@ -98,6 +100,11 @@ func main() {
 		kvTx       = flag.Int("kv-tx", 0, "transaction/value sizing in bytes for -exp kv (default 256)")
 		kvScan     = flag.Int("kv-scan", 0, "keys per scan request for -exp kv (default 16)")
 		kvUncore   = flag.Bool("kv-uncore", true, "include the shared-vs-partitioned counter-cache and per-core write-queue cells in -exp kv")
+
+		attackStrict = flag.Bool("attack-strict", false, "exit non-zero if any attack fails to do damage unmitigated or any mitigation fails to measurably reduce it")
+		attackSteps  = flag.Int("attack-steps", 0, "measured attacker steps per timing cell for -exp attack (default 64)")
+		attackLoop   = flag.Int("attack-loop", 0, "crash-loop iterations for -exp attack (default 6)")
+		attackBound  = flag.Int("attack-bound", 0, "recovery-work bound of the mitigated crash-loop cells (default 16)")
 	)
 	flag.Parse()
 
@@ -334,9 +341,18 @@ func main() {
 		// standard figure runners.
 		walls = append(walls, perfExperiment{Name: "kv", WallMillis: runKV(cfg, opts, ko, *jsonOut)})
 	}
+	if want("attack") {
+		ran = true
+		ao := supermem.AttackOpts{
+			Steps:          *attackSteps,
+			LoopIterations: *attackLoop,
+			RecoveryBound:  *attackBound,
+		}
+		walls = append(walls, perfExperiment{Name: "attack", WallMillis: runAttack(cfg, opts, ao, *attackStrict, *jsonOut)})
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "supermem-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "osiris", "faultsweep", "integrity", "kv", "all"}, ", "))
+			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "osiris", "faultsweep", "integrity", "kv", "attack", "all"}, ", "))
 		os.Exit(2)
 	}
 	if *perfAppend != "" {
@@ -622,6 +638,52 @@ func runKV(cfg supermem.Config, opts supermem.ExperimentOpts, ko supermem.KVOpts
 			os.Exit(1)
 		}
 		fmt.Printf("[wrote BENCH_kv.json]\n\n")
+	}
+	return wall.Milliseconds()
+}
+
+// attackArtifact is the machine-readable attack-experiment record.
+// Like the kv artifact it carries no wall-time or parallelism fields,
+// so the same options produce a byte-identical BENCH_attack.json at
+// any -parallel setting.
+type attackArtifact struct {
+	Experiment string                 `json:"experiment"`
+	Result     *supermem.AttackResult `json:"result"`
+}
+
+// runAttack executes the attack x scheme x mitigation grid and returns
+// its wall time in milliseconds for the perf trajectory. With strict
+// set it exits non-zero when any attack did no damage unmitigated or
+// any mitigation failed to measurably claw it back.
+func runAttack(cfg supermem.Config, opts supermem.ExperimentOpts, ao supermem.AttackOpts, strict, jsonOut bool) int64 {
+	start := time.Now()
+	res, err := supermem.AttackSweep(cfg, opts, ao)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: attack: %v\n", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+	fmt.Println(res)
+	fmt.Printf("[attack done in %s]\n\n", wall.Round(time.Millisecond))
+	if jsonOut {
+		a := attackArtifact{Experiment: "attack", Result: res}
+		data, err := json.MarshalIndent(a, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: encoding BENCH_attack.json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_attack.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: writing BENCH_attack.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote BENCH_attack.json]\n\n")
+	}
+	if strict {
+		if v := res.StrictViolations(); len(v) > 0 {
+			fmt.Fprintf(os.Stderr, "supermem-bench: attack strict check FAILED:\n  %s\n", strings.Join(v, "\n  "))
+			os.Exit(1)
+		}
+		fmt.Println("attack strict check passed: every attack did damage unmitigated and every mitigation measurably reduced it")
 	}
 	return wall.Milliseconds()
 }

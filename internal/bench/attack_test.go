@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"supermem/internal/config"
+)
+
+// attackTestOpts is the reduced-scale grid the tests (and CI's -race
+// job) run: small enough to stay fast, large enough that every attack
+// does real damage and every mitigation engages.
+func attackTestOpts() (Opts, AttackOpts) {
+	o := Opts{FootprintBytes: 1 << 20, Seed: 1}
+	ao := AttackOpts{Steps: 24, LoopIterations: 3, CrashSteps: 4}
+	return o, ao
+}
+
+func TestAttackSweepSmall(t *testing.T) {
+	o, ao := attackTestOpts()
+	res, err := AttackSweep(config.Default(), o, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	for _, violation := range res.StrictViolations() {
+		t.Errorf("strict violation: %s", violation)
+	}
+}
+
+// TestAttackSweepDeterministic pins the serial/parallel byte-identity
+// of the artifact: the same options must marshal to the same JSON at
+// any worker count.
+func TestAttackSweepDeterministic(t *testing.T) {
+	o, ao := attackTestOpts()
+	serial, err := AttackSweep(config.Default(), o, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Parallel = 8
+	parallel, err := AttackSweep(config.Default(), o, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.MarshalIndent(serial, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.MarshalIndent(parallel, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sj) != string(pj) {
+		t.Fatalf("serial and parallel artifacts differ:\nserial:\n%s\nparallel:\n%s", sj, pj)
+	}
+}

@@ -50,6 +50,15 @@ type Spec struct {
 	// microbenchmarks. The Shard field is overridden per core by
 	// BuildSources. Every field is part of the trace-cache key.
 	KV workload.KVConfig
+	// Attack parameterizes the adversarial workloads
+	// (workload.AttackNames); ignored by everything else. Part of the
+	// trace-cache key.
+	Attack workload.AttackConfig
+	// CoreWorkloads overrides Workload per core ("" keeps Workload),
+	// letting the attack experiment co-run an attacker and a victim.
+	// Cores beyond the array's length run Workload. Part of the
+	// trace-cache key.
+	CoreWorkloads [4]string
 }
 
 // config assembles the effective system configuration for the spec: the
@@ -172,12 +181,13 @@ func items(wl string, txBytes int, footprint uint64) int {
 }
 
 // warmupSteps picks a warmup that populates pointer structures to the
-// footprint target when the caller didn't specify one.
-func warmupSteps(spec Spec) int {
+// footprint target when the caller didn't specify one. wl is the core's
+// effective workload (CoreWorkloads may override Spec.Workload).
+func warmupSteps(spec Spec, wl string) int {
 	if spec.Warmup > 0 {
 		return spec.Warmup
 	}
-	switch spec.Workload {
+	switch wl {
 	case "btree", "rbtree", "hashtable":
 		n := int(spec.FootprintBytes / uint64(spec.TxBytes))
 		if n < 32 {
@@ -190,6 +200,12 @@ func warmupSteps(spec Spec) int {
 		// Setup preloads the whole keyspace; a short request burst warms
 		// the caches and write queue before measurement.
 		return 64
+	case "ctrhammer":
+		// Each warmup step spends one primed page; keep the warmup short
+		// so Setup's priming budget goes to the measured detonations.
+		return 8
+	case "hotbank":
+		return 8
 	default: // array: Setup already populates; just warm the caches
 		return 32
 	}
@@ -202,6 +218,10 @@ func BuildSources(spec Spec) ([]trace.Source, error) {
 	layout := nvm.NewLayout(cfg)
 	sources := make([]trace.Source, spec.Cores)
 	for i := 0; i < spec.Cores; i++ {
+		wl := spec.Workload
+		if i < len(spec.CoreWorkloads) && spec.CoreWorkloads[i] != "" {
+			wl = spec.CoreWorkloads[i]
+		}
 		firstBank, nbanks := bankAssignment(i, spec.Cores, cfg.Banks, spec.SingleCoreBanks)
 		// Size each bank's region generously: structures keep growing
 		// past the footprint during the measured phase.
@@ -228,14 +248,15 @@ func BuildSources(spec Spec) ([]trace.Source, error) {
 		p := workload.Params{
 			Heap:    heap,
 			TxBytes: spec.TxBytes,
-			Items:   items(spec.Workload, spec.TxBytes, spec.FootprintBytes),
+			Items:   items(wl, spec.TxBytes, spec.FootprintBytes),
 			// The paper workloads keep their historical additive per-core
 			// offset so the pinned figure traces stay byte-stable; the kv
 			// path below mixes (Seed, shard) properly via
 			// workload.ShardSeed.
-			Seed: spec.Seed + int64(i)*7919,
+			Seed:   spec.Seed + int64(i)*7919,
+			Attack: spec.Attack,
 		}
-		if spec.Workload == "kv" {
+		if wl == "kv" {
 			// Shard i's stream must be a pure function of (Seed, i): the
 			// workload derives its RNG from ShardSeed(Seed, Shard), so the
 			// same shard regenerates identically at any shard count and
@@ -244,7 +265,7 @@ func BuildSources(spec Spec) ([]trace.Source, error) {
 			p.KV = spec.KV
 			p.KV.Shard = i
 		}
-		w, err := workload.New(spec.Workload, p)
+		w, err := workload.New(wl, p)
 		if err != nil {
 			return nil, fmt.Errorf("bench: core %d: %w", i, err)
 		}
@@ -255,7 +276,7 @@ func BuildSources(spec Spec) ([]trace.Source, error) {
 			return nil, fmt.Errorf("bench: core %d setup: %w", i, err)
 		}
 		tm.EnableMarkers(false)
-		for s := 0; s < warmupSteps(spec); s++ {
+		for s := 0; s < warmupSteps(spec, wl); s++ {
 			if err := w.Step(tm); err != nil {
 				return nil, fmt.Errorf("bench: core %d warmup step %d: %w", i, s, err)
 			}

@@ -19,21 +19,21 @@ func TestWarmupStepsPerWorkload(t *testing.T) {
 	for _, wl := range []string{"btree", "rbtree", "hashtable"} {
 		s := base
 		s.Workload = wl
-		if got := warmupSteps(s); got != 1024 {
+		if got := warmupSteps(s, s.Workload); got != 1024 {
 			t.Errorf("%s warmup = %d, want footprint/tx = 1024", wl, got)
 		}
 	}
 	s := base
 	s.Workload = "queue"
-	if got := warmupSteps(s); got != 512 {
+	if got := warmupSteps(s, s.Workload); got != 512 {
 		t.Errorf("queue warmup = %d, want items/2 = 512", got)
 	}
 	s.Workload = "array"
-	if got := warmupSteps(s); got != 32 {
+	if got := warmupSteps(s, s.Workload); got != 32 {
 		t.Errorf("array warmup = %d, want 32", got)
 	}
 	s.Warmup = 7
-	if got := warmupSteps(s); got != 7 {
+	if got := warmupSteps(s, s.Workload); got != 7 {
 		t.Errorf("explicit warmup ignored: %d", got)
 	}
 }

@@ -71,6 +71,10 @@ func TestTraceKeyFailsClosed(t *testing.T) {
 			for i := 0; i < v.NumField(); i++ {
 				perturb(v.Field(i), name+"."+v.Type().Field(i).Name)
 			}
+		case reflect.Array:
+			for i := 0; i < v.Len(); i++ {
+				perturb(v.Index(i), fmt.Sprintf("%s[%d]", name, i))
+			}
 		case reflect.Bool:
 			old := v.Bool()
 			v.SetBool(!old)

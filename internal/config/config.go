@@ -189,6 +189,42 @@ type Config struct {
 	// partner bank (b + Banks/2) mod Banks. 0 disables quarantine.
 	BankQuarantineThreshold int
 
+	// OverflowThrottlePeriod enables overflow-rate throttling when
+	// non-zero: a machine-wide token bucket refills one overflow token
+	// each OverflowThrottlePeriod cycles up to OverflowThrottleBurst
+	// tokens, and every minor-counter bump that wraps its line — the
+	// bump that detonates a page re-encryption — must consume one. A
+	// wrap arriving at an empty bucket is stalled until the next
+	// refill — deterministic backpressure on the writer — so a hammer
+	// driving primed counter lines cannot raise the machine-wide
+	// re-encryption rate above the refill rate, while workloads that
+	// overflow rarely never notice. 0 disables throttling.
+	OverflowThrottlePeriod uint64
+	// OverflowThrottleBurst is the overflow token-bucket capacity
+	// (<= 0 means 1 when throttling is enabled). The burst lets benign
+	// phase-change overflow clusters proceed unstalled while a
+	// sustained hammer drains the bucket and hits the refill rate.
+	OverflowThrottleBurst int
+
+	// WearRemapPeriod enables the wear-leveling remap layer when
+	// non-zero: after every WearRemapPeriod issued write services the
+	// controller advances a global rotation offset and each home bank's
+	// traffic physically moves to (home + offset) mod Banks. This
+	// generalizes the quarantine/XBank partner remap into write-count-
+	// triggered rotation: a hammered bank's wear (and its queue
+	// pressure) spreads across all banks instead of concentrating. 0
+	// disables rotation.
+	WearRemapPeriod uint64
+
+	// RecoveryWorkBound caps the re-encryption/tree-completion persist
+	// steps one recovery pass may perform in the functional machine.
+	// When the bound is hit, recovery degrades to staged mode: the pass
+	// returns with work pending and the next pass continues where it
+	// stopped, so a malicious crash-loop pays bounded work per recovery
+	// instead of stalling on an adversarially large backlog. 0 means
+	// unbounded (complete every recovery in one pass).
+	RecoveryWorkBound int
+
 	// ParallelEngine enables the bank-partitioned event engine: the
 	// write queue stores each bank's retire and retry events in a
 	// per-bank sub-heap (sim.Engine partitions) instead of one global
@@ -297,6 +333,12 @@ func (c Config) Validate() error {
 	}
 	if c.BankQuarantineThreshold < 0 {
 		return fmt.Errorf("config: bank quarantine threshold must be >= 0 (0 disables), got %d", c.BankQuarantineThreshold)
+	}
+	if c.OverflowThrottlePeriod == 0 && c.OverflowThrottleBurst > 0 {
+		return fmt.Errorf("config: overflow throttle burst %d set with throttling disabled (period 0)", c.OverflowThrottleBurst)
+	}
+	if c.RecoveryWorkBound < 0 {
+		return fmt.Errorf("config: recovery work bound must be >= 0 (0 means unbounded), got %d", c.RecoveryWorkBound)
 	}
 	return nil
 }

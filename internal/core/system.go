@@ -72,6 +72,18 @@ type System struct {
 	treeBase     uint64
 	treeWCB      [treeWCBSlots]uint64
 
+	// Overflow-rate throttle (config.OverflowThrottlePeriod): a single
+	// machine-wide token bucket charged by the minor-counter bumps that
+	// wrap a line — the bumps that detonate a page re-encryption. One
+	// token refills every throttlePeriod cycles up to throttleBurst, so
+	// an attacker hammering primed counter lines degrades to one RSR
+	// storm per period (deterministic backpressure on the writer
+	// instead of an unbounded re-encryption storm), while workloads
+	// that overflow rarely never notice. throttlePeriod == 0 disables.
+	throttlePeriod uint64
+	throttleBurst  int
+	bucket         tokenBucket
+
 	// Warmup exclusion: when every core has executed a trace.Reset op,
 	// the global counters are snapshotted and subtracted from the final
 	// metrics, so setup/warmup traffic does not pollute the figures.
@@ -243,7 +255,16 @@ func NewSystem(cfg config.Config) (*System, error) {
 			mc.SetPartitioned(true)
 		}
 		mc.SetResilience(cfg.ReadRetryLimit, cfg.ReadRetryBackoff, cfg.BankQuarantineThreshold)
+		mc.SetWearLeveling(cfg.WearRemapPeriod)
 		s.mcs = append(s.mcs, mc)
+	}
+	if cfg.OverflowThrottlePeriod > 0 {
+		s.throttlePeriod = cfg.OverflowThrottlePeriod
+		s.throttleBurst = cfg.OverflowThrottleBurst
+		if s.throttleBurst < 1 {
+			s.throttleBurst = 1
+		}
+		s.bucket = tokenBucket{tokens: s.throttleBurst}
 	}
 	s.l3 = cache.New("L3", cfg.L3)
 	ncc, ccCfg := 1, cfg.CounterCache
@@ -389,6 +410,10 @@ func (s *System) Run(sources []trace.Source) (stats.Metrics, error) {
 		m.NVMReads -= s.snapshot.NVMReads
 		m.Reencryptions -= s.snapshot.Reencryptions
 		m.ReencryptLines -= s.snapshot.ReencryptLines
+		m.ThrottleStalls -= s.snapshot.ThrottleStalls
+		m.ThrottleStallCycles -= s.snapshot.ThrottleStallCycles
+		m.WearRotations -= s.snapshot.WearRotations
+		m.WearRemappedWrites -= s.snapshot.WearRemappedWrites
 		m.CtrCacheHits -= s.ctrSnapshot.Hits
 		m.CtrCacheMisses -= s.ctrSnapshot.Misses
 		m.CtrEvictions -= s.ctrSnapshot.Writebacks
@@ -611,8 +636,20 @@ func (s *System) securePersist(c *coreState, t, line uint64, charge bool) (lat u
 	}
 
 	// Advance the minor counter; overflow forces page re-encryption.
+	// With the overflow throttle on, a bump that would wrap the line's
+	// minor counter first pays the global token bucket: an empty bucket
+	// stalls the writer until the next refill, bounding the
+	// machine-wide re-encryption rate.
 	page := s.layout.PageOf(line)
 	cl := s.ctrStore.Get(page)
+	if cl.Minors[ctr.LineIndex(line)] == ctr.MinorMax {
+		if stall := s.throttleOverflow(t + lat); stall > 0 {
+			s.m.ThrottleStalls++
+			s.m.ThrottleStallCycles += stall
+			s.rec.Count(obs.SeriesThrottleStalls, t+lat, 1)
+			lat += stall
+		}
+	}
 	if cl.Bump(ctr.LineIndex(line)) {
 		relat := s.reencryptPage(c, t+lat, page)
 		if charge {
@@ -645,6 +682,42 @@ func (s *System) securePersist(c *coreState, t, line uint64, charge bool) (lat u
 		c.gb.add1(memctrl.Entry{Addr: line})
 	}
 	return lat
+}
+
+// tokenBucket is the overflow-throttle state: tokens in hand plus the
+// cycle the next token is minted (meaningful while the bucket is not
+// full; reset when a consume empties a full bucket).
+type tokenBucket struct {
+	tokens   int
+	nextMint uint64
+}
+
+// throttleOverflow charges one overflow token at cycle t and returns
+// the deterministic backpressure stall (0 when a token was in hand or
+// throttling is off). The mint clock is pure arithmetic over simulated
+// cycles, so the stall sequence is identical at any host parallelism.
+func (s *System) throttleOverflow(t uint64) (stall uint64) {
+	if s.throttlePeriod == 0 {
+		return 0
+	}
+	b := &s.bucket
+	for b.tokens < s.throttleBurst && b.nextMint <= t {
+		b.tokens++
+		b.nextMint += s.throttlePeriod
+	}
+	if b.tokens > 0 {
+		if b.tokens == s.throttleBurst {
+			// A full bucket's mint clock is stale; restart it now that
+			// minting resumes.
+			b.nextMint = t + s.throttlePeriod
+		}
+		b.tokens--
+		return 0
+	}
+	// Empty: stall until the next token mints, then consume it.
+	stall = b.nextMint - t
+	b.nextMint += s.throttlePeriod
+	return stall
 }
 
 // treeWCBSlots sizes the tree write-combining buffer; it mirrors the

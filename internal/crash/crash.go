@@ -36,6 +36,14 @@ type Params struct {
 	// Key is the machine's AES key (16 bytes); a default is used when
 	// nil.
 	Key []byte
+	// Attack parameterizes the adversarial workloads
+	// (workload.AttackNames); ignored by everything else.
+	Attack workload.AttackConfig
+	// RecoveryBound caps each recovery pass's re-encryption completion
+	// work at this many persistence micro-steps (0 = unbounded); see
+	// machine.WithRecoveryBound. Bounded passes degrade to staged
+	// recovery, which the recovery paths here drain to completion.
+	RecoveryBound int
 }
 
 func (p Params) withDefaults() Params {
@@ -83,6 +91,7 @@ func build(p Params, b pmem.Backend) (workload.Workload, *pmem.TxManager, error)
 		TxBytes: p.TxBytes,
 		Items:   p.Items,
 		Seed:    p.Seed,
+		Attack:  p.Attack,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -137,7 +146,7 @@ type Result struct {
 // transactions completed. A non-nil injector attaches after setup, so
 // its step schedule counts from the same origin as crash points.
 func runToCrash(p Params, crashAt int, inj *fault.Injector) (*machine.Machine, workload.Workload, int, error) {
-	m, err := machine.New(p.Mode, p.Key)
+	m, err := machine.New(p.Mode, p.Key, machine.WithRecoveryBound(p.RecoveryBound))
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -261,6 +270,7 @@ func runAndRecover(p Params, crashAt, recoveryCrashAt int, inj *fault.Injector) 
 	} else {
 		r = m.Recover()
 	}
+	drainStagedRecovery(r)
 	pmem.Recover(r, logBase, logSize)
 	if r.Crashed() {
 		// The nested failure hit mid-recovery; power-cycle again. The
@@ -269,6 +279,7 @@ func runAndRecover(p Params, crashAt, recoveryCrashAt int, inj *fault.Injector) 
 		res.RecoveryCrashed = true
 		res.RecoveryCrashStep = recoveryCrashAt
 		r = r.Recover()
+		drainStagedRecovery(r)
 		pmem.Recover(r, logBase, logSize)
 	}
 	res.RecoveryProbes = r.OsirisProbes()
@@ -463,6 +474,17 @@ func recoveryPersists(p Params, crashAt int) (int, error) {
 		return 0, nil
 	}
 	r := m.Recover()
+	drainStagedRecovery(r)
 	pmem.Recover(r, logBase, logSize)
 	return r.Persists(), nil
+}
+
+// drainStagedRecovery resumes a bounded (staged) recovery until no
+// re-encryption work is pending, as a real boot sequence would before
+// mounting. Unbounded recoveries never leave pending work, so this is
+// a no-op for them.
+func drainStagedRecovery(m *machine.Machine) {
+	for m.RecoveryPending() {
+		m.ResumeRecovery()
+	}
 }

@@ -1,0 +1,92 @@
+package crash
+
+import (
+	"supermem/internal/machine"
+	"supermem/internal/pmem"
+)
+
+// This file is the malicious crash-loop driver: an attacker who can
+// force power failures (or panic loops) crashes the machine at the
+// persistence step that maximizes recovery work — mid-RSR, so every
+// boot re-encrypts most of a page before the system is usable — and
+// repeats. The mitigation under test is the recovery-work bound
+// (config.RecoveryWorkBound / machine.WithRecoveryBound): a bounded
+// pass stops with the RSR still armed and ResumeRecovery continues in
+// stages, so no single recovery pass exceeds the budget.
+
+// TotalPersists measures the persist steps the workload's transactions
+// consume crash-free — the domain of valid crash points.
+func TotalPersists(p Params) (int, error) {
+	return countPersists(p.withDefaults())
+}
+
+// RecoveryCost measures the persistence micro-steps one uninterrupted
+// recovery consumes after a crash at crashAt (RSR completion plus
+// redo-log reapply). Zero means the crash point needed no recovery
+// writes.
+func RecoveryCost(p Params, crashAt int) (int, error) {
+	return recoveryPersists(p, crashAt)
+}
+
+// LoopResult reports one crash+recover iteration of the crash loop.
+type LoopResult struct {
+	// CrashAt is the armed persistence step.
+	CrashAt int `json:"crash_at"`
+	// RecoveryPersists is the total persistence micro-steps recovery
+	// consumed, across all staged passes plus the redo-log reapply.
+	RecoveryPersists int `json:"recovery_persists"`
+	// Passes is the number of recovery passes (1 when the bound never
+	// bit; staged recovery adds one per ResumeRecovery).
+	Passes int `json:"passes"`
+	// MaxPassPersists is the largest single pass — the per-recovery
+	// work the bound promises to cap.
+	MaxPassPersists int `json:"max_pass_persists"`
+	// BoundedPasses counts passes stopped by the recovery-work bound.
+	BoundedPasses int `json:"bounded_passes"`
+	// Consistent reports whether the recovered state matched a replay
+	// of completed or completed+1 steps.
+	Consistent bool `json:"consistent"`
+}
+
+// RunLoopIteration crashes at crashAt, recovers under the given
+// recovery-work bound (0 = unbounded), resumes staged recovery until no
+// work is pending, reapplies the redo log, and verifies the recovered
+// state against a deterministic replay.
+func RunLoopIteration(p Params, crashAt, bound int) (LoopResult, error) {
+	p = p.withDefaults()
+	m, w, completed, err := runToCrash(p, crashAt, nil)
+	if err != nil {
+		return LoopResult{}, err
+	}
+	out := LoopResult{CrashAt: crashAt, Passes: 0}
+	if !m.Crashed() {
+		out.Consistent = w.Verify(m) == nil
+		return out, nil
+	}
+	r := m.Recover(machine.WithRecoveryBound(bound))
+	out.Passes = 1
+	out.MaxPassPersists = r.Persists()
+	prev := r.Persists()
+	for r.RecoveryPending() {
+		r.ResumeRecovery()
+		out.Passes++
+		if pass := r.Persists() - prev; pass > out.MaxPassPersists {
+			out.MaxPassPersists = pass
+		}
+		prev = r.Persists()
+	}
+	out.BoundedPasses = r.BoundedRecoveries()
+	pmem.Recover(r, logBase, logSize)
+	out.RecoveryPersists = r.Persists()
+	for _, n := range []int{completed, completed + 1} {
+		ok, err := matchesReplay(p, r, n)
+		if err != nil {
+			return LoopResult{}, err
+		}
+		if ok {
+			out.Consistent = true
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package crash
+
+import (
+	"testing"
+
+	"supermem/internal/machine"
+	"supermem/internal/workload"
+)
+
+// TestCrashLoopBoundStagesRecovery pins the crash-loop mitigation at
+// the unit level: at the hammer's worst crash point an unbounded
+// recovery is one huge pass, and a tight recovery-work bound turns the
+// same recovery into several small passes that finish consistently and
+// do the same total work.
+func TestCrashLoopBoundStagesRecovery(t *testing.T) {
+	p := Params{
+		Mode:     machine.WTRegister,
+		Workload: "ctrhammer",
+		Steps:    4,
+		Seed:     3,
+		Attack:   workload.AttackConfig{HotPages: 6},
+	}
+	total, err := TotalPersists(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstAt, worstCost := -1, -1
+	for at := 0; at < total; at++ {
+		cost, err := RecoveryCost(p, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost > worstCost {
+			worstAt, worstCost = at, cost
+		}
+	}
+	// A mid-RSR crash must exist: the hammer's whole point is that
+	// recovery re-encrypts most of a page.
+	if worstCost < 32 {
+		t.Fatalf("worst recovery cost %d at %d — hammer never armed a re-encryption storm", worstCost, worstAt)
+	}
+
+	unbounded, err := RunLoopIteration(p, worstAt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !unbounded.Consistent {
+		t.Fatal("unbounded recovery left inconsistent state")
+	}
+	if unbounded.Passes != 1 || unbounded.BoundedPasses != 0 {
+		t.Fatalf("unbounded recovery ran %d passes (%d bounded), want one unbounded pass",
+			unbounded.Passes, unbounded.BoundedPasses)
+	}
+
+	const bound = 8
+	bounded, err := RunLoopIteration(p, worstAt, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bounded.Consistent {
+		t.Fatal("bounded recovery left inconsistent state")
+	}
+	if bounded.BoundedPasses == 0 || bounded.Passes <= 1 {
+		t.Fatalf("bound %d never staged recovery: %+v", bound, bounded)
+	}
+	// Each pass respects the bound (plus the couple of metadata persists
+	// a pass spends beyond the metered re-encryption steps).
+	if bounded.MaxPassPersists > bound+8 {
+		t.Fatalf("bounded pass did %d persists, bound %d", bounded.MaxPassPersists, bound)
+	}
+	if bounded.MaxPassPersists >= unbounded.MaxPassPersists {
+		t.Fatalf("bounding did not shrink the worst pass: %d -> %d",
+			unbounded.MaxPassPersists, bounded.MaxPassPersists)
+	}
+	// Staging defers work, it does not skip any: the bounded loop's
+	// total recovery work covers the unbounded pass.
+	if bounded.RecoveryPersists < unbounded.RecoveryPersists {
+		t.Fatalf("bounded recovery did %d total persists < unbounded %d",
+			bounded.RecoveryPersists, unbounded.RecoveryPersists)
+	}
+}

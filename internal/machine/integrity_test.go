@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"supermem/internal/config"
+	"supermem/internal/ctr"
 	"supermem/internal/fault"
 )
 
@@ -193,5 +194,104 @@ func TestVerifyCtrZeroAllocs(t *testing.T) {
 	packed := cl.Pack()
 	if avg := testing.AllocsPerRun(200, func() { m.verifyCtr(page, packed) }); avg != 0 {
 		t.Fatalf("verifyCtr allocates %.1f per run, want 0", avg)
+	}
+}
+
+// TestThrottledBumpSurvivesCrashUnderIntegrityTrees is the mitigation x
+// integrity interlock: enabling the overflow throttle must not change
+// what the machine persists, so a hammered line that wraps its minor
+// while being throttled — then crashes mid-re-encryption and recovers
+// through the bounded, staged path — still decrypts correctly and
+// raises zero integrity-tree detections under every tree mode.
+func TestThrottledBumpSurvivesCrashUnderIntegrityTrees(t *testing.T) {
+	for _, mode := range []Mode{BMTFull, BMTLeaves, Phoenix} {
+		t.Run(mode.String(), func(t *testing.T) {
+			// The hammer sequence: populate page 0, then flush line 0 until
+			// the minor wraps twice. Burst 1 and a period longer than the
+			// whole run mean the first wrap spends the bucket's only token
+			// and the second wrap is throttled.
+			want := make([][]byte, config.LinesPerPage)
+			hammer := func(m *Machine) {
+				for i := 0; i < config.LinesPerPage; i++ {
+					want[i] = []byte{byte(i), byte(255 - i), 0x5A}
+					m.Store(uint64(i*config.LineSize), want[i])
+					m.CLWB(uint64(i * config.LineSize))
+				}
+				for n := 0; n < 2*ctr.MinorMax; n++ {
+					m.Store(0, []byte{byte(n), 0xAA, 0x11})
+					m.CLWB(0)
+				}
+			}
+			// Probe run: find the persist index where the second overflow's
+			// re-encryption storm begins. A wrapping flush persists a whole
+			// page of line rewrites instead of the usual couple of steps, so
+			// the storms announce themselves as jumps in the persist index.
+			probe := newM(t, mode)
+			probe.SetThrottle(1_000_000, 1)
+			preWrap, wrapN := -1, -1
+			for i := 0; i < config.LinesPerPage; i++ {
+				probe.Store(uint64(i*config.LineSize), []byte{byte(i), byte(255 - i), 0x5A})
+				probe.CLWB(uint64(i * config.LineSize))
+			}
+			for n := 0; n < 2*ctr.MinorMax; n++ {
+				before := probe.Persists()
+				probe.Store(0, []byte{byte(n), 0xAA, 0x11})
+				probe.CLWB(0)
+				if probe.Persists()-before > 10 && probe.ThrottledBumps() > 0 {
+					// Second storm (the first one spends the bucket's token
+					// without throttling).
+					preWrap, wrapN = before, n
+					break
+				}
+			}
+			if preWrap < 0 {
+				t.Fatal("hammer never reached a throttled second overflow")
+			}
+			if probe.ThrottledBumps() != 1 {
+				t.Fatalf("probe throttled %d bumps, want 1 (token for the first wrap, throttle for the second)",
+					probe.ThrottledBumps())
+			}
+
+			// Real run: crash three persists into the second storm, then
+			// recover with a tight work bound so recovery is staged.
+			m := newM(t, mode, WithCrashAtPersist(preWrap+3), WithRecoveryBound(4))
+			m.SetThrottle(1_000_000, 1)
+			hammer(m)
+			if m.ThrottledBumps() != 1 {
+				t.Fatalf("throttled %d bumps before the crash, want 1", m.ThrottledBumps())
+			}
+			r := m.Recover()
+			for r.RecoveryPending() {
+				r.ResumeRecovery()
+			}
+			if r.BoundedRecoveries() == 0 {
+				t.Fatal("recovery bound 4 never staged a ~64-line re-encryption completion")
+			}
+			// Line 0 holds one of its two architecturally consistent values:
+			// the storm re-encrypts the line's current (cached) content, so
+			// depending on where the crash cut, recovery completes with
+			// either the wrapping write's value or the one before it. Every
+			// other line must hold its populate value exactly.
+			pre := []byte{byte(wrapN - 1), 0xAA, 0x11}
+			post := []byte{byte(wrapN), 0xAA, 0x11}
+			if got := r.Load(0, 3); !bytes.Equal(got, pre) && !bytes.Equal(got, post) {
+				t.Fatalf("recovered line 0 reads %v, want %v or %v", got, pre, post)
+			}
+			for i := 1; i < config.LinesPerPage; i++ {
+				if got := r.Load(uint64(i*config.LineSize), 3); !bytes.Equal(got, want[i]) {
+					t.Fatalf("recovered line %d reads %v, want %v", i, got, want[i])
+				}
+			}
+			cl, ok := r.PersistedCounter(0)
+			if !ok {
+				t.Fatal("no persisted counter line after recovery")
+			}
+			if cl.Major != 2 {
+				t.Fatalf("persisted major = %d after two overflows, want 2", cl.Major)
+			}
+			if got := r.FaultStats().CtrTreeDetected; got != 0 {
+				t.Fatalf("tree flagged %d detections on clean throttled recovery", got)
+			}
+		})
 	}
 }

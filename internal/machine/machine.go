@@ -120,6 +120,33 @@ type Machine struct {
 	// treeVerifyOff disables tree verification; a test hook only (see
 	// SetTreeVerify).
 	treeVerifyOff bool
+
+	// Recovery-work bound (config.RecoveryWorkBound): the maximum
+	// persistence micro-steps one recovery pass may spend completing an
+	// interrupted page re-encryption. 0 is unbounded; when the budget
+	// runs out the pass stops with the RSR still armed (staged
+	// recovery) and ResumeRecovery continues under a fresh budget.
+	recoveryBound     int
+	recoveryUsed      int
+	boundedRecoveries int
+
+	// Overflow-throttle accounting (the functional mirror of the timing
+	// model's global token bucket, clocked by the persist index):
+	// overflowing bumps that would have stalled are counted, with
+	// machine state deliberately untouched — the mitigation is
+	// backpressure in time, and the integrity tests pin that a
+	// throttled bump still produces tree-consistent state.
+	throttlePeriod uint64
+	throttleBurst  int
+	throttleBkt    bumpBucket
+	throttledBumps int
+}
+
+// bumpBucket is the overflow-throttle token bucket, clocked by the
+// persist index.
+type bumpBucket struct {
+	tokens   int
+	nextMint uint64
 }
 
 // rsrState is the 20-byte RSR: page number, the page's old major
@@ -141,6 +168,13 @@ type Option func(*Machine)
 // separate steps — which is exactly the vulnerable window.
 func WithCrashAtPersist(n int) Option {
 	return func(m *Machine) { m.crashAt = n }
+}
+
+// WithRecoveryBound caps one recovery pass's re-encryption completion
+// work at n persistence micro-steps (0 = unbounded). See
+// config.RecoveryWorkBound.
+func WithRecoveryBound(n int) Option {
+	return func(m *Machine) { m.recoveryBound = n }
 }
 
 // New builds a machine. The key seeds the AES engine; any 16 bytes. The
@@ -180,6 +214,71 @@ func New(mode Mode, key []byte, opts ...Option) (*Machine, error) {
 // SetRecorder attaches an observability recorder (nil disables).
 // Successor machines built by Recover inherit it.
 func (m *Machine) SetRecorder(r *obs.Recorder) { m.rec = r }
+
+// SetThrottle enables overflow-throttle accounting: a machine-wide
+// token bucket of the given burst, refilling one token every period
+// persist steps, charged by the minor-counter bumps that wrap a line.
+// Overflows that exceed the bucket are counted (ThrottledBumps) — the
+// machine's state transitions are deliberately identical either way,
+// because the mitigation is backpressure in *time* and time lives in
+// internal/core. period 0 disables. Successors inherit the setting
+// (with a fresh bucket) across Recover.
+func (m *Machine) SetThrottle(period uint64, burst int) {
+	m.throttlePeriod = period
+	if burst < 1 {
+		burst = 1
+	}
+	m.throttleBurst = burst
+	m.throttleBkt = bumpBucket{tokens: burst}
+}
+
+// ThrottledBumps returns the number of overflowing minor bumps the
+// throttle would have stalled.
+func (m *Machine) ThrottledBumps() int { return m.throttledBumps }
+
+// BoundedRecoveries returns the number of recovery passes that hit the
+// recovery-work bound and degraded to staged recovery.
+func (m *Machine) BoundedRecoveries() int { return m.boundedRecoveries }
+
+// RecoveryPending reports whether a staged recovery left re-encryption
+// work behind: the machine is live but its RSR page must be completed
+// (ResumeRecovery) before that page is touched again.
+func (m *Machine) RecoveryPending() bool { return !m.crashed && m.rsr != nil }
+
+// ResumeRecovery continues a staged recovery under a fresh work
+// budget. It is a no-op when nothing is pending.
+func (m *Machine) ResumeRecovery() {
+	if !m.RecoveryPending() {
+		return
+	}
+	m.recoveryUsed = 0
+	m.finishReencryption()
+}
+
+// noteThrottle charges one overflow token for page's wrapping bump
+// against the persist-index-clocked bucket, counting (but not
+// blocking) overflows that would have stalled.
+func (m *Machine) noteThrottle(page uint64) {
+	if m.throttlePeriod == 0 {
+		return
+	}
+	t := uint64(m.persists)
+	b := &m.throttleBkt
+	for b.tokens < m.throttleBurst && b.nextMint <= t {
+		b.tokens++
+		b.nextMint += m.throttlePeriod
+	}
+	if b.tokens > 0 {
+		if b.tokens == m.throttleBurst {
+			b.nextMint = t + m.throttlePeriod
+		}
+		b.tokens--
+		return
+	}
+	b.nextMint += m.throttlePeriod
+	m.throttledBumps++
+	m.rec.InstantArg(obs.TrackMachine, "throttle stall", t, "page", page)
+}
 
 // Mode returns the machine's persistence mode.
 func (m *Machine) Mode() Mode { return m.mode }
@@ -332,8 +431,11 @@ func (m *Machine) CLWB(addr uint64) {
 	cl := m.currentCounter(page)
 	li := ctr.LineIndex(base)
 	if cl.Minors[li] == ctr.MinorMax {
-		// Minor overflow: re-encrypt the page under major+1 before the
-		// triggering write proceeds (Section 3.4.4).
+		// Minor overflow: the wrapping bump pays the overflow throttle
+		// (accounting only; backpressure time lives in internal/core),
+		// then the page re-encrypts under major+1 before the triggering
+		// write proceeds (Section 3.4.4).
+		m.noteThrottle(page)
 		if !m.reencryptPage(page) {
 			return // crashed mid-re-encryption; RSR holds the state
 		}
@@ -483,6 +585,10 @@ func (m *Machine) Recover(opts ...Option) *Machine {
 	}
 	n.rec = m.rec
 	n.inj = m.inj
+	n.recoveryBound = m.recoveryBound
+	if m.throttlePeriod > 0 {
+		n.SetThrottle(m.throttlePeriod, m.throttleBurst)
+	}
 	for _, o := range opts {
 		o(n)
 	}
@@ -539,6 +645,9 @@ func (m *Machine) finishReencryption() {
 		if r.done[i] {
 			continue
 		}
+		if !m.takeRecoveryStep() {
+			return // budget spent: staged recovery, RSR stays armed
+		}
 		oldPad := m.pads.otp(la, r.oldLine.Major, r.oldLine.Minors[i])
 		plain := ctr.XorLine(m.readData(la), oldPad)
 		newPad := m.pads.otp(la, newLine.Major, 0)
@@ -548,11 +657,33 @@ func (m *Machine) finishReencryption() {
 		m.persistData(la, ctr.XorLine(plain, newPad))
 		r.done[i] = true
 	}
+	if !m.takeRecoveryStep() {
+		return
+	}
 	if !m.stepPersist() {
 		return
 	}
 	m.persistCtr(r.page, newLine)
 	m.rsr = nil
+}
+
+// takeRecoveryStep charges one persistence micro-step against the
+// recovery-work budget. When the budget is spent it records the
+// bounded-recovery event and reports false — the caller stops with the
+// RSR armed, degrading to staged recovery instead of stalling on an
+// adversarially large backlog.
+func (m *Machine) takeRecoveryStep() bool {
+	if m.recoveryBound <= 0 {
+		return true
+	}
+	if m.recoveryUsed < m.recoveryBound {
+		m.recoveryUsed++
+		return true
+	}
+	m.boundedRecoveries++
+	m.rec.Count(obs.SeriesRecoveryBounded, uint64(m.persists), 1)
+	m.rec.Instant(obs.TrackMachine, "recovery bounded", uint64(m.persists))
+	return false
 }
 
 // NVMLines returns the sorted line addresses that have ever been

@@ -148,6 +148,18 @@ type Controller struct {
 	failures    []int
 	quarantined []bool
 	quarCount   int
+
+	// Wear-leveling rotation (the write-count-triggered generalization
+	// of the quarantine remap): after every wearPeriod issued write
+	// services the rotation offset advances by one, and every access's
+	// home bank is remapped to (home + wearRot) mod N before the
+	// quarantine remap applies. Start-gap-style data migration traffic
+	// is not modeled — the layer exists to spread a hammered bank's
+	// wear (and queue pressure) across the array. wearPeriod == 0
+	// disables rotation.
+	wearPeriod uint64
+	wearWrites uint64
+	wearRot    int
 }
 
 // New builds a controller over the device. Capacity must be at least 2:
@@ -198,6 +210,10 @@ func (c *Controller) SetResilience(limit int, backoff uint64, threshold int) {
 	c.backoff = backoff
 	c.quarThresh = threshold
 }
+
+// SetWearLeveling configures the wear-leveling rotation: the number of
+// issued write services between rotation advances (0 disables).
+func (c *Controller) SetWearLeveling(period uint64) { c.wearPeriod = period }
 
 // SetRecorder attaches an observability recorder (nil disables).
 func (c *Controller) SetRecorder(r *obs.Recorder) { c.rec = r }
@@ -306,8 +322,14 @@ func (c *Controller) admit(now uint64, entries []Entry) {
 				c.entryPool.Put(victim)
 			}
 		}
+		home := c.dev.Layout().BankOf(e.Addr)
+		b := c.wearBank(home)
+		if b != home {
+			c.m.WearRemappedWrites++
+			c.rec.Count(obs.SeriesWearRemaps, now, 1)
+		}
 		q := c.entryPool.Get()
-		*q = queued{Entry: e, c: c, bank: c.effBank(now, c.dev.Layout().BankOf(e.Addr))}
+		*q = queued{Entry: e, c: c, bank: c.effBank(now, b)}
 		c.queue = append(c.queue, q)
 		if !(c.cwc && e.Counter) {
 			c.pending[q.bank]++
@@ -426,6 +448,20 @@ func (c *Controller) issue(now uint64, q *queued) {
 	} else {
 		c.m.DataWrites++
 	}
+	if c.wearPeriod > 0 {
+		c.wearWrites++
+		if c.wearWrites >= c.wearPeriod {
+			c.wearWrites = 0
+			c.wearRot++
+			if c.wearRot == c.dev.Banks() {
+				c.wearRot = 0
+			}
+			c.m.WearRotations++
+			if c.rec != nil {
+				c.rec.InstantArg(obs.TrackQueue, "wear rotate", now, "rot", uint64(c.wearRot))
+			}
+		}
+	}
 	if c.partitioned {
 		c.eng.AtObjPart(q.bank+1, done, q)
 	} else {
@@ -497,7 +533,7 @@ func (c *Controller) retire(now uint64, q *queued) {
 // partner bank.
 func (c *Controller) ReadLine(now, addr uint64) (done uint64) {
 	c.m.NVMReads++
-	bank := c.effBank(now, c.dev.Layout().BankOf(addr))
+	bank := c.effBank(now, c.wearBank(c.dev.Layout().BankOf(addr)))
 	at := now
 	retries := uint64(0)
 	for attempt := 1; ; attempt++ {
@@ -513,10 +549,11 @@ func (c *Controller) ReadLine(now, addr uint64) (done uint64) {
 			break
 		}
 		// Exponential backoff: the k-th retry starts backoff<<(k-1)
-		// cycles after the failed attempt completes. A quarantine
-		// triggered by this failure redirects the retry itself.
+		// cycles after the failed attempt completes, capped at
+		// backoff<<MaxBackoffShift. A quarantine triggered by this
+		// failure redirects the retry itself.
 		retries++
-		at = done + c.backoff<<uint(attempt-1)
+		at = done + c.retryGap(attempt)
 		bank = c.effBank(at, bank)
 	}
 	if retries > 0 {
@@ -525,6 +562,25 @@ func (c *Controller) ReadLine(now, addr uint64) (done uint64) {
 	}
 	c.scheduleRetry(bank) // writes blocked behind this read resume at done
 	return done
+}
+
+// MaxBackoffShift caps the read-retry exponential backoff doubling:
+// the k-th retry waits backoff<<min(k-1, MaxBackoffShift) cycles after
+// the failed attempt completes. The retry limit admits up to 64
+// attempts, so without the cap a long quarantine fight shifts the base
+// past 64 bits — the gap wraps to 0 and the "backoff" becomes a
+// zero-gap retry storm; before wrapping it overshoots the whole run
+// length. 10 bounds the gap at 1024x the base.
+const MaxBackoffShift = 10
+
+// retryGap returns the backoff gap before the attempt-th retry
+// (attempt counts the failed attempts so far, >= 1).
+func (c *Controller) retryGap(attempt int) uint64 {
+	shift := uint(attempt - 1)
+	if shift > MaxBackoffShift {
+		shift = MaxBackoffShift
+	}
+	return c.backoff << shift
 }
 
 // noteFailure records one failed access of a bank and quarantines it at
@@ -539,6 +595,15 @@ func (c *Controller) noteFailure(now uint64, bank int) {
 			c.rec.InstantArg(obs.TrackFault, "quarantine bank", now, "bank", uint64(bank))
 		}
 	}
+}
+
+// wearBank applies the wear-leveling rotation to a home bank. It is
+// the identity until the first write-count-triggered rotation advance.
+func (c *Controller) wearBank(b int) int {
+	if c.wearRot == 0 {
+		return b
+	}
+	return (b + c.wearRot) % c.dev.Banks()
 }
 
 // effBank maps a home bank to the bank that actually services it:

@@ -551,3 +551,76 @@ func TestLatencySpikeStretchesRead(t *testing.T) {
 		t.Fatalf("post-spike read done = %d, want %d", done, 10_000+read)
 	}
 }
+
+func TestReadRetryBackoffCapped(t *testing.T) {
+	// Regression: the k-th retry gap is backoff<<(k-1), and the retry
+	// budget admits enough attempts that an uncapped shift walks past 64
+	// bits — the gap wraps to zero and a dead bank turns into a zero-gap
+	// retry storm. The cap clamps every gap at backoff<<MaxBackoffShift.
+	const backoff = 4
+	r := faultRig(t, []fault.Injection{
+		{Kind: fault.BankFault, Step: 0, Target: 0, Arg: 1 << 30},
+	}, 80, backoff, 0)
+	for attempt, want := range map[int]uint64{
+		1:  backoff,
+		11: backoff << MaxBackoffShift,
+		12: backoff << MaxBackoffShift,
+		79: backoff << MaxBackoffShift,
+	} {
+		if got := r.c.retryGap(attempt); got != want {
+			t.Errorf("retryGap(%d) = %d, want %d", attempt, got, want)
+		}
+	}
+	// End to end: 80 attempts against a dead bank. Gaps 1..10 double,
+	// 11..79 sit at the cap; every gap is positive and the read returns.
+	read := config.Default().ReadCycles
+	var exp uint64 = 80 * read
+	for k := 1; k <= 79; k++ {
+		shift := uint(k - 1)
+		if shift > MaxBackoffShift {
+			shift = MaxBackoffShift
+		}
+		exp += backoff << shift
+	}
+	if done := r.c.ReadLine(0, r.l.BankBase(0)); done != exp {
+		t.Fatalf("ReadLine done = %d, want %d (capped backoff chain)", done, exp)
+	}
+	if r.m.UncorrectedReads != 1 || r.m.ReadRetries != 79 {
+		t.Fatalf("uncorrected=%d retries=%d, want 1/79", r.m.UncorrectedReads, r.m.ReadRetries)
+	}
+}
+
+func TestWearRotationRemapsAfterPeriod(t *testing.T) {
+	r := newRig(t, 16, false)
+	r.c.SetWearLeveling(4)
+	// Four writes to bank 0 issue and trip one rotation advance.
+	for i := uint64(0); i < 4; i++ {
+		r.enq(0, r.data(0, i))
+	}
+	r.c.Flush(0)
+	r.eng.Run()
+	if r.m.WearRotations != 1 {
+		t.Fatalf("WearRotations = %d after 4 issued writes (period 4), want 1", r.m.WearRotations)
+	}
+	if r.m.WearRemappedWrites != 0 {
+		t.Fatalf("WearRemappedWrites = %d before any rotation was live at admit, want 0", r.m.WearRemappedWrites)
+	}
+	// The next write to home bank 0 is admitted under rotation 1 and
+	// must be serviced by bank 1.
+	before := r.dev.Stats()[1].Writes
+	r.enq(r.eng.Now(), r.data(0, 10))
+	r.c.Flush(r.eng.Now())
+	r.eng.Run()
+	if got := r.dev.Stats()[1].Writes; got != before+1 {
+		t.Fatalf("bank 1 writes = %d, want %d (write not wear-remapped)", got, before+1)
+	}
+	if r.m.WearRemappedWrites != 1 {
+		t.Fatalf("WearRemappedWrites = %d, want 1", r.m.WearRemappedWrites)
+	}
+	// Reads of the same home bank follow the rotation too.
+	readsBefore := r.dev.Stats()[1].Reads
+	r.c.ReadLine(r.eng.Now(), r.l.BankBase(0))
+	if got := r.dev.Stats()[1].Reads; got != readsBefore+1 {
+		t.Fatalf("bank 1 reads = %d, want %d (read not wear-remapped)", got, readsBefore+1)
+	}
+}

@@ -129,3 +129,56 @@ func TestCoreObserve(t *testing.T) {
 		t.Fatalf("core 2 count after ResetHists = %d, want 0", h.Count())
 	}
 }
+
+// TestRoleSplitOrderIndependent: the attacker-vs-victim histogram split
+// must not depend on the order the attackers list names cores, and the
+// two halves must exactly partition the per-core observations.
+func TestRoleSplitOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRecorder(Options{Window: 100})
+	const cores = 4
+	var direct [cores]Histogram
+	// Interleave observations across cores so per-core state is built
+	// the way a real multi-core run builds it.
+	for i := 0; i < 4000; i++ {
+		core := i % cores
+		v := uint64(100*(core+1)) + uint64(rng.Intn(100))
+		r.CoreObserve(core, v)
+		direct[core].Observe(v)
+	}
+
+	var wantAtk, wantVic Histogram
+	wantAtk.Merge(&direct[0])
+	wantAtk.Merge(&direct[2])
+	wantVic.Merge(&direct[1])
+	wantVic.Merge(&direct[3])
+	for _, attackers := range [][]int{{0, 2}, {2, 0}} {
+		atk, vic := r.RoleSplit(attackers...)
+		if atk.Snapshot() != wantAtk.Snapshot() {
+			t.Fatalf("attackers %v: attacker snapshot %+v, want %+v", attackers, atk.Snapshot(), wantAtk.Snapshot())
+		}
+		if vic.Snapshot() != wantVic.Snapshot() {
+			t.Fatalf("attackers %v: victim snapshot %+v, want %+v", attackers, vic.Snapshot(), wantVic.Snapshot())
+		}
+	}
+
+	// No attackers: everything lands in the victim half.
+	atk, vic := r.RoleSplit()
+	if atk.Snapshot().Count != 0 {
+		t.Fatalf("empty attacker split observed %d values", atk.Snapshot().Count)
+	}
+	var wantAll Histogram
+	for i := range direct {
+		wantAll.Merge(&direct[i])
+	}
+	if vic.Snapshot() != wantAll.Snapshot() {
+		t.Fatalf("no-attacker victim snapshot %+v, want all-core merge %+v", vic.Snapshot(), wantAll.Snapshot())
+	}
+
+	// A nil recorder splits into two empty histograms.
+	var nilRec *Recorder
+	atk, vic = nilRec.RoleSplit(0)
+	if atk.Snapshot().Count != 0 || vic.Snapshot().Count != 0 {
+		t.Fatal("nil recorder RoleSplit must be empty")
+	}
+}

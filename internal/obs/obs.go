@@ -68,6 +68,15 @@ const (
 	// SeriesTreeWrites counts integrity-tree node writes enqueued per
 	// window (integrity-tree schemes only).
 	SeriesTreeWrites
+	// SeriesThrottleStalls counts minor-counter bumps stalled by the
+	// overflow throttle's token bucket per window.
+	SeriesThrottleStalls
+	// SeriesWearRemaps counts write services the wear-leveling rotation
+	// moved off their home bank per window.
+	SeriesWearRemaps
+	// SeriesRecoveryBounded counts recovery passes that hit the
+	// recovery-work bound and degraded to staged recovery per window.
+	SeriesRecoveryBounded
 
 	numSeries
 )
@@ -164,6 +173,35 @@ func (r *Recorder) CoreTxHist(core int) *Histogram {
 		return nil
 	}
 	return &r.coreHists[core]
+}
+
+// RoleSplit merges the per-core tx-latency histograms into an
+// attacker-vs-victim split: cores listed in attackers merge into the
+// first histogram, every other recorded core into the second. The
+// attack experiment reads victim tail latency under a co-located
+// adversary from the victim half. Histogram merging is exact and
+// order-independent, so the split is byte-identical at any worker
+// parallelism and for any ordering of the attackers list.
+func (r *Recorder) RoleSplit(attackers ...int) (attacker, victim Histogram) {
+	if r == nil {
+		return
+	}
+	isAttacker := func(core int) bool {
+		for _, a := range attackers {
+			if a == core {
+				return true
+			}
+		}
+		return false
+	}
+	for core := range r.coreHists {
+		if isAttacker(core) {
+			attacker.Merge(&r.coreHists[core])
+		} else {
+			victim.Merge(&r.coreHists[core])
+		}
+	}
+	return
 }
 
 // Count adds n occurrences to a counting series at cycle now.
@@ -343,6 +381,9 @@ func (r *Recorder) counterTracks() []counterTrack {
 		{name: "bank remaps/window", values: r.series[SeriesBankRemaps].values(r.window, end)},
 		{name: "ctr deferred/window", values: r.series[SeriesCtrDeferred].values(r.window, end)},
 		{name: "tree writes/window", values: r.series[SeriesTreeWrites].values(r.window, end)},
+		{name: "throttle stalls/window", values: r.series[SeriesThrottleStalls].values(r.window, end)},
+		{name: "wear remaps/window", values: r.series[SeriesWearRemaps].values(r.window, end)},
+		{name: "recovery work bounded/window", values: r.series[SeriesRecoveryBounded].values(r.window, end)},
 	}
 	for b := range r.banks {
 		tracks = append(tracks, counterTrack{

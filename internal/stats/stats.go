@@ -69,6 +69,18 @@ type Metrics struct {
 	// banks; QuarantinedBanks counts banks taken out of service.
 	BankRemaps       uint64
 	QuarantinedBanks uint64
+
+	// ThrottleStalls counts overflowing minor-counter bumps (page
+	// re-encryption detonations) stalled by the overflow throttle's
+	// token bucket; ThrottleStallCycles is the backpressure those
+	// stalls charged the writers.
+	ThrottleStalls      uint64
+	ThrottleStallCycles uint64
+	// WearRotations counts write-count-triggered advances of the
+	// wear-leveling rotation; WearRemappedWrites counts write services
+	// the rotation moved off their home bank.
+	WearRotations      uint64
+	WearRemappedWrites uint64
 }
 
 // TotalNVMWrites is the headline write count of Figure 15.
@@ -114,6 +126,10 @@ func (m *Metrics) Add(other Metrics) {
 	m.UncorrectedReads += other.UncorrectedReads
 	m.BankRemaps += other.BankRemaps
 	m.QuarantinedBanks += other.QuarantinedBanks
+	m.ThrottleStalls += other.ThrottleStalls
+	m.ThrottleStallCycles += other.ThrottleStallCycles
+	m.WearRotations += other.WearRotations
+	m.WearRemappedWrites += other.WearRemappedWrites
 }
 
 // Table is a printable result table: one row per configuration point and

@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"fmt"
+
+	"supermem/internal/config"
+	"supermem/internal/ctr"
+	"supermem/internal/pmem"
+)
+
+// This file implements the adversarial workloads of the attack
+// experiment — programs a malicious tenant could run to weaponize the
+// secure-memory machinery itself:
+//
+//   - "ctrhammer" pins flushed stores to one line per page so the
+//     page's 7-bit minor counter overflows as fast as architecturally
+//     possible, detonating a full-page re-encryption (64 line rewrites
+//     plus a counter persist) per measured store.
+//   - "hotbank" floods the write queue with flushed stores confined to
+//     the attacker's own bank, so the FR-FCFS scheduler saturates and
+//     co-running victims stall at write-queue admission.
+//
+// Both are ordinary Workload implementations: the same code drives the
+// timing simulator (trace replay) and the byte-accurate crash machine,
+// which is how the malicious crash-loop experiment reuses "ctrhammer"
+// as its recovery-work generator.
+
+// AttackConfig parameterizes the adversarial workloads. Every field is
+// a plain value kind so the bench layer's trace cache can key specs on
+// it by reflection.
+type AttackConfig struct {
+	// HotPages is the number of distinct data pages the attacker
+	// targets. The ctrhammer detonates one primed page per step, so it
+	// needs at least warmup+measured-steps pages; 0 derives a default
+	// from Params.Items.
+	HotPages int
+	// FlushesPerStep is the flushed-store burst size of one hotbank
+	// step (0 means 8). The ctrhammer always issues exactly one flush
+	// per step, so each measured step is one detonation.
+	FlushesPerStep int
+	// Benign selects the ctrhammer's benign twin: the identical op
+	// count per step spread over fresh lines so no minor counter ever
+	// approaches overflow. The twin is the denominator of the attack's
+	// write-amplification factor.
+	Benign bool
+}
+
+// linesPerPage is the number of cache lines per data page (the span of
+// one counter line's minors).
+const linesPerPage = config.PageSize / config.LineSize
+
+// hammerPage is one targeted data page plus the expected payload tag of
+// every line (0 = never written, so the line must still be zero).
+type hammerPage struct {
+	base uint64
+	want [linesPerPage]uint64
+}
+
+// flushPool is the state shared by the attack workloads: a set of
+// page-sized extents written with self-describing flushed stores, and
+// the exact-replay bookkeeping Verify checks. Tags are a monotone
+// sequence, so two replays of the same step count produce byte-equal
+// state — what the crash fuzzer's n / n+1 matching requires.
+type flushPool struct {
+	pages []hammerPage
+	seq   uint64
+}
+
+func (f *flushPool) allocPages(p Params, n int, name string) error {
+	for i := 0; i < n; i++ {
+		addr, err := p.Heap.Alloc(config.PageSize)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		f.pages = append(f.pages, hammerPage{base: addr})
+	}
+	return nil
+}
+
+func (f *flushPool) lineAddr(pi, li int) uint64 {
+	return f.pages[pi].base + uint64(li)*config.LineSize
+}
+
+// writeLine stores a fresh self-describing payload to line li of page
+// pi as a raw store+flush+fence (attackers do not pay for transactions)
+// and records the expected bytes for Verify.
+func (f *flushPool) writeLine(b pmem.Backend, pi, li int) {
+	f.writeLineUnfenced(b, pi, li)
+	b.SFence()
+}
+
+// writeLineUnfenced is writeLine without the trailing fence: the
+// hotbank burst issues all its flushes back to back so they pile into
+// the write queue together, then fences once per step.
+func (f *flushPool) writeLineUnfenced(b pmem.Backend, pi, li int) {
+	f.seq++
+	tag := f.seq
+	f.pages[pi].want[li] = tag
+	buf := make([]byte, config.LineSize)
+	put64(buf[0:8], tag)
+	fill(buf[8:], tag)
+	addr := f.lineAddr(pi, li)
+	b.Store(addr, buf)
+	pmem.FlushRange(b, addr, len(buf))
+}
+
+// verify checks every targeted line holds exactly its expected payload.
+// Raw flushed stores are line-atomic, so after a crash the recovered
+// bytes must equal a replay of n or n+1 steps — the crash fuzzer tries
+// both.
+func (f *flushPool) verify(b pmem.Backend, name string) error {
+	for pi := range f.pages {
+		for li := 0; li < linesPerPage; li++ {
+			tag := f.pages[pi].want[li]
+			if tag == 0 {
+				continue
+			}
+			buf := b.Load(f.lineAddr(pi, li), int(config.LineSize))
+			if got := le64(buf[0:8]); got != tag {
+				return fmt.Errorf("%s: page %d line %d holds tag %d, want %d", name, pi, li, got, tag)
+			}
+			if !checkFill(buf[8:], tag) {
+				return fmt.Errorf("%s: page %d line %d payload corrupt for tag %d", name, pi, li, tag)
+			}
+		}
+	}
+	return nil
+}
+
+// ctrHammer is the minor-counter overflow hammer. Setup primes each hot
+// page's line 0 with MinorMax flushed stores, parking the minor counter
+// on the overflow edge; every measured step then detonates the next
+// primed page with a single store — one line of attacker traffic buying
+// a 64-line re-encryption storm. The benign twin issues the same one
+// flush per step spread across fresh lines.
+type ctrHammer struct {
+	flushPool
+	benign bool
+	next   int
+}
+
+func newCtrHammer(p Params) (*ctrHammer, error) {
+	n := p.Attack.HotPages
+	if n <= 0 {
+		n = p.Items
+	}
+	w := &ctrHammer{benign: p.Attack.Benign}
+	if err := w.allocPages(p, n, w.Name()); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *ctrHammer) Name() string { return "ctrhammer" }
+
+func (w *ctrHammer) Setup(tm *pmem.TxManager) error {
+	b := tm.Backend()
+	for pi := range w.pages {
+		w.writeLine(b, pi, 0)
+		if w.benign {
+			continue
+		}
+		// Prime: after MinorMax flushed stores the line's minor counter
+		// sits at the edge, so the next store overflows it.
+		for k := 1; k < ctr.MinorMax; k++ {
+			w.writeLine(b, pi, 0)
+		}
+	}
+	return nil
+}
+
+func (w *ctrHammer) Step(tm *pmem.TxManager) error {
+	b := tm.Backend()
+	if w.benign {
+		// Same single flush per step, but round-robin over every line of
+		// every page: each line is revisited only every pages×64 steps,
+		// so minors stay far from overflow.
+		idx := w.next % (len(w.pages) * linesPerPage)
+		w.next++
+		w.writeLine(b, idx/linesPerPage, idx%linesPerPage)
+		return nil
+	}
+	pi := w.next % len(w.pages)
+	w.next++
+	w.writeLine(b, pi, 0)
+	return nil
+}
+
+func (w *ctrHammer) Verify(b pmem.Backend) error { return w.verify(b, w.Name()) }
+
+// hotBank is the write-DoS flood: each step issues a burst of flushed
+// stores cycling page-first through the attacker's line pool, keeping
+// its home bank's write queue permanently full. The pool is sized so no
+// minor counter approaches overflow — the damage is pure scheduler
+// occupancy, which backs the shared write queue up into co-runners.
+type hotBank struct {
+	flushPool
+	burst int
+	next  int
+}
+
+func newHotBank(p Params) (*hotBank, error) {
+	n := p.Attack.HotPages
+	if n <= 0 {
+		n = p.Items / linesPerPage
+		if n < 4 {
+			n = 4
+		}
+	}
+	w := &hotBank{burst: p.Attack.FlushesPerStep}
+	if w.burst <= 0 {
+		w.burst = 8
+	}
+	if err := w.allocPages(p, n, w.Name()); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *hotBank) Name() string { return "hotbank" }
+
+func (w *hotBank) Setup(tm *pmem.TxManager) error {
+	b := tm.Backend()
+	for pi := range w.pages {
+		w.writeLine(b, pi, 0)
+	}
+	return nil
+}
+
+func (w *hotBank) Step(tm *pmem.TxManager) error {
+	b := tm.Backend()
+	total := len(w.pages) * linesPerPage
+	for k := 0; k < w.burst; k++ {
+		idx := w.next % total
+		w.next++
+		// Page-first order: consecutive flushes touch different counter
+		// lines, so the burst cannot coalesce in the counter cache.
+		w.writeLineUnfenced(b, idx%len(w.pages), idx/len(w.pages))
+	}
+	b.SFence()
+	return nil
+}
+
+func (w *hotBank) Verify(b pmem.Backend) error { return w.verify(b, w.Name()) }

@@ -47,6 +47,9 @@ type Params struct {
 	// Zipfian skew, shard index); ignored by the paper's five
 	// microbenchmarks.
 	KV KVConfig
+	// Attack parameterizes the adversarial workloads (AttackNames);
+	// ignored by everything else.
+	Attack AttackConfig
 }
 
 func (p Params) validate() error {
@@ -68,6 +71,11 @@ func (p Params) validate() error {
 // experiment, not the paper's five-workload figures.
 var Names = []string{"array", "queue", "btree", "hashtable", "rbtree"}
 
+// AttackNames lists the adversarial workloads of the attack experiment.
+// Like "kv" they are constructed by name but kept out of Names: the
+// paper's figure grids must not iterate them.
+var AttackNames = []string{"ctrhammer", "hotbank"}
+
 // New builds a workload by name.
 func New(name string, p Params) (Workload, error) {
 	if err := p.validate(); err != nil {
@@ -76,6 +84,10 @@ func New(name string, p Params) (Workload, error) {
 	switch name {
 	case "kv":
 		return newKV(p)
+	case "ctrhammer":
+		return newCtrHammer(p)
+	case "hotbank":
+		return newHotBank(p)
 	case "array":
 		return newArray(p)
 	case "queue":

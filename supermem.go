@@ -372,6 +372,25 @@ func KVServe(cfg Config, o ExperimentOpts, ko KVOpts) (*KVResult, error) {
 	return bench.KVServe(cfg, o.internal(), ko)
 }
 
+type (
+	// AttackOpts sizes the attack experiment grid (schemes, steps,
+	// mitigation knobs, crash-loop length).
+	AttackOpts = bench.AttackOpts
+	// AttackResult is the attack experiment's deterministic artifact
+	// payload (the BENCH_attack.json body).
+	AttackResult = bench.AttackResult
+)
+
+// AttackSweep runs the persistence-based attack experiment: the
+// minor-counter overflow hammer, the hot-bank write DoS, and the
+// malicious crash loop, each against each scheme with its mitigation
+// (overflow throttle, wear-leveling rotation, recovery-work bound) off
+// and on. The result reports write amplification, victim tail latency,
+// and per-recovery work, and is byte-identical at any Parallel setting.
+func AttackSweep(cfg Config, o ExperimentOpts, ao AttackOpts) (*AttackResult, error) {
+	return bench.AttackSweep(cfg, o.internal(), ao)
+}
+
 // CrashMode selects the persistence design of the byte-accurate crash
 // machine (richer than Scheme: it distinguishes battery variants and
 // the register ablation).
