@@ -17,6 +17,8 @@
 //	supermem-bench -exp kv -kv-shards 8 -kv-skew 0.99 -kv-mix 50,30,10,5,5 -json
 //	supermem-bench -exp attack                # persistence-based attacks vs mitigations
 //	supermem-bench -exp attack -attack-strict -json      # CI gate + artifact
+//	supermem-bench -exp mlp                   # core models x schemes: OoO width/MSHR/prefetch sweep
+//	supermem-bench -exp mlp -mlp-widths 1,4 -mlp-mshrs 2 -json
 //	supermem-bench -exp all                   # everything
 //	supermem-bench -exp all -parallel 1       # serial (identical output)
 //	supermem-bench -exp fig13 -json           # also write BENCH_fig13_*.json
@@ -24,6 +26,14 @@
 // Sizing knobs: -transactions, -warmup, -footprint, -seed. Latency
 // tables print both raw cycles and the paper's normalized-to-Unsec
 // form.
+//
+// Core model knobs: -core selects the per-core timing model for every
+// experiment ("inorder", the default, or "ooo"); -ooo-width, -mshrs,
+// and -prefetch size the OoO model's issue window, MSHR file, and
+// stride prefetcher. The model is timing-only — workload op streams
+// and the trace cache are unaffected. -kv-core and -attack-core
+// override the model for the KV shard cores and the attack
+// experiment's attacker core respectively.
 //
 // Every figure is a grid of independent deterministic simulations;
 // -parallel N fans the grid across N workers (default: all CPUs) with
@@ -72,7 +82,7 @@ type artifact struct {
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, osiris, faultsweep, integrity, kv, attack, all")
+		exp          = flag.String("exp", "all", "experiment: table1, fig13, fig14, fig15, fig16, fig17, ablation, sca, osiris, faultsweep, integrity, kv, attack, mlp, all")
 		faultStrict  = flag.Bool("fault-strict", false, "exit non-zero if the faultsweep or integrity experiments violate their detection claims (silent corruption, unflagged replays, dead quarantine cell)")
 		faultSeed    = flag.Int64("fault-seed", 0, "base seed for the faultsweep's generated plans (0 = default)")
 		csv          = flag.Bool("csv", false, "print tables as CSV instead of aligned text")
@@ -92,6 +102,11 @@ func main() {
 		perfAppend   = flag.String("perf-append", "", "append this run's headline wall times to the given perf-trajectory JSON file (e.g. BENCH_perf.json)")
 		perfLabel    = flag.String("perf-label", "", "free-form label recorded with -perf-append (e.g. a commit subject)")
 
+		coreModel = flag.String("core", "", "core timing model for every experiment: inorder (default) or ooo")
+		oooWidth  = flag.Int("ooo-width", 0, "OoO issue-window width (0 = default 4; requires -core ooo)")
+		mshrs     = flag.Int("mshrs", 0, "MSHR-file entries of the ooo core (0 = default 8; requires -core ooo)")
+		prefetch  = flag.Int("prefetch", 0, "stride-prefetcher degree of the ooo core (0 = off; requires -core ooo)")
+
 		kvShards   = flag.String("kv-shards", "", "comma-separated shard counts for -exp kv (default 1,2,4,8)")
 		kvKeys     = flag.Int("kv-keys", 0, "per-shard keyspace for -exp kv (default 4096)")
 		kvRequests = flag.Int("kv-requests", 0, "measured requests per shard for -exp kv (default -transactions)")
@@ -100,11 +115,19 @@ func main() {
 		kvTx       = flag.Int("kv-tx", 0, "transaction/value sizing in bytes for -exp kv (default 256)")
 		kvScan     = flag.Int("kv-scan", 0, "keys per scan request for -exp kv (default 16)")
 		kvUncore   = flag.Bool("kv-uncore", true, "include the shared-vs-partitioned counter-cache and per-core write-queue cells in -exp kv")
+		kvCore     = flag.String("kv-core", "", "core timing model of the KV shard cores for -exp kv (inorder or ooo; default: -core)")
 
 		attackStrict = flag.Bool("attack-strict", false, "exit non-zero if any attack fails to do damage unmitigated or any mitigation fails to measurably reduce it")
 		attackSteps  = flag.Int("attack-steps", 0, "measured attacker steps per timing cell for -exp attack (default 64)")
 		attackLoop   = flag.Int("attack-loop", 0, "crash-loop iterations for -exp attack (default 6)")
 		attackBound  = flag.Int("attack-bound", 0, "recovery-work bound of the mitigated crash-loop cells (default 16)")
+		attackCore   = flag.String("attack-core", "", "attacker core timing model for -exp attack (inorder or ooo; victims stay in-order)")
+
+		mlpWidths   = flag.String("mlp-widths", "", "comma-separated OoO widths for -exp mlp (default 1,2,4,8)")
+		mlpMSHRs    = flag.String("mlp-mshrs", "", "comma-separated MSHR-file sizes swept at the widest width for -exp mlp (default 2,32)")
+		mlpPrefetch = flag.String("mlp-prefetch", "", "comma-separated prefetch degrees swept at the widest width for -exp mlp (default 4)")
+		mlpWorkload = flag.String("mlp-workload", "", "workload for -exp mlp (default btree)")
+		mlpTx       = flag.Int("mlp-tx", 0, "transaction size in bytes for -exp mlp (default 1024)")
 	)
 	flag.Parse()
 
@@ -124,6 +147,18 @@ func main() {
 	opts.Parallel = *parallel
 	cfg := supermem.DefaultConfig()
 	cfg.ParallelEngine = *parallelEng
+	// The core-model knobs flow to every experiment through the shared
+	// config template (the mlp experiment sweeps its own model axis on
+	// top of it). Validate here so a bad -core spelling or an orphan
+	// OoO knob fails before any simulation starts.
+	cfg.CoreModel = *coreModel
+	cfg.OoOWidth = *oooWidth
+	cfg.MSHREntries = *mshrs
+	cfg.PrefetchDegree = *prefetch
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: %v\n", err)
+		os.Exit(2)
+	}
 
 	// Each experiment collects its printed tables so -json can emit the
 	// same data as a machine-readable artifact.
@@ -337,6 +372,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "supermem-bench: kv: %v\n", err)
 			os.Exit(2)
 		}
+		// -kv-core overrides the template model for the shard cores only;
+		// without it the shards inherit -core through cfg.
+		ko.CoreModel = *kvCore
 		// The kv experiment joins the -perf-append trajectory like the
 		// standard figure runners.
 		walls = append(walls, perfExperiment{Name: "kv", WallMillis: runKV(cfg, opts, ko, *jsonOut)})
@@ -347,12 +385,22 @@ func main() {
 			Steps:          *attackSteps,
 			LoopIterations: *attackLoop,
 			RecoveryBound:  *attackBound,
+			AttackerModel:  *attackCore,
 		}
 		walls = append(walls, perfExperiment{Name: "attack", WallMillis: runAttack(cfg, opts, ao, *attackStrict, *jsonOut)})
 	}
+	if want("mlp") {
+		ran = true
+		mo, err := mlpOpts(*mlpWidths, *mlpMSHRs, *mlpPrefetch, *mlpWorkload, *mlpTx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: mlp: %v\n", err)
+			os.Exit(2)
+		}
+		walls = append(walls, perfExperiment{Name: "mlp", WallMillis: runMLP(cfg, opts, mo, *jsonOut)})
+	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "supermem-bench: unknown experiment %q (want %s)\n",
-			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "osiris", "faultsweep", "integrity", "kv", "attack", "all"}, ", "))
+			*exp, strings.Join([]string{"table1", "fig13", "fig14", "fig15", "fig16", "fig17", "ablation", "sca", "osiris", "faultsweep", "integrity", "kv", "attack", "mlp", "all"}, ", "))
 		os.Exit(2)
 	}
 	if *perfAppend != "" {
@@ -638,6 +686,79 @@ func runKV(cfg supermem.Config, opts supermem.ExperimentOpts, ko supermem.KVOpts
 			os.Exit(1)
 		}
 		fmt.Printf("[wrote BENCH_kv.json]\n\n")
+	}
+	return wall.Milliseconds()
+}
+
+// mlpOpts assembles the MLP experiment options from the -mlp-* flags.
+func mlpOpts(widths, mshrs, prefetch, workload string, txBytes int) (supermem.MLPOpts, error) {
+	mo := supermem.MLPOpts{Workload: workload, TxBytes: txBytes}
+	var err error
+	if mo.Widths, err = intList("-mlp-widths", widths, 1); err != nil {
+		return mo, err
+	}
+	if mo.MSHRs, err = intList("-mlp-mshrs", mshrs, 1); err != nil {
+		return mo, err
+	}
+	if mo.PrefetchDegrees, err = intList("-mlp-prefetch", prefetch, 0); err != nil {
+		return mo, err
+	}
+	return mo, nil
+}
+
+// intList parses a comma-separated integer flag value; "" returns nil
+// (the experiment's default).
+func intList(flagName, s string, min int) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < min {
+			return nil, fmt.Errorf("bad %s entry %q (want integers >= %d)", flagName, f, min)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// mlpArtifact is the machine-readable MLP-experiment record. Like the
+// kv artifact it carries no wall-time or parallelism fields, so the
+// same options produce a byte-identical BENCH_mlp.json at any
+// -parallel setting and under -parallel-engine.
+type mlpArtifact struct {
+	Experiment string              `json:"experiment"`
+	Result     *supermem.MLPResult `json:"result"`
+}
+
+// runMLP executes the core-model x scheme grid and returns its wall
+// time in milliseconds for the perf trajectory.
+func runMLP(cfg supermem.Config, opts supermem.ExperimentOpts, mo supermem.MLPOpts, jsonOut bool) int64 {
+	start := time.Now()
+	hits0, miss0 := supermem.TraceCacheStats()
+	res, err := supermem.MLP(cfg, opts, mo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "supermem-bench: mlp: %v\n", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+	fmt.Println(res)
+	hits, miss := supermem.TraceCacheStats()
+	fmt.Printf("[mlp done in %s; trace cache %d hits / %d misses]\n\n",
+		wall.Round(time.Millisecond), hits-hits0, miss-miss0)
+	if jsonOut {
+		a := mlpArtifact{Experiment: "mlp", Result: res}
+		data, err := json.MarshalIndent(a, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: encoding BENCH_mlp.json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile("BENCH_mlp.json", append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "supermem-bench: writing BENCH_mlp.json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote BENCH_mlp.json]\n\n")
 	}
 	return wall.Milliseconds()
 }

@@ -71,6 +71,11 @@ type AttackOpts struct {
 	// Modes lists the crash-machine designs the crash loop targets;
 	// default {WTRegister, BMTLeaves}.
 	Modes []machine.Mode
+	// AttackerModel selects the attacker cores' timing model ("" =
+	// in-order; config.CoreOoO gives the adversary an out-of-order core
+	// with MSHRs). Victim cores always stay in-order, so the knob asks
+	// whether a better-provisioned attacker does more damage.
+	AttackerModel string
 }
 
 func (ao AttackOpts) withDefaults() AttackOpts {
@@ -255,6 +260,8 @@ func AttackSweep(base config.Config, o Opts, ao AttackOpts) (*AttackResult, erro
 			// One primed page per step (warmup included) so every
 			// measured flush detonates a fresh page.
 			Attack: workload.AttackConfig{HotPages: hammerWarmup + ao.Steps, Benign: benign},
+			// The hammer's lone core is the attacker.
+			CoreModel: ao.AttackerModel,
 		}
 	}
 	dosSpec := func(scheme config.Scheme, attack, mitigated bool) Spec {
@@ -277,8 +284,20 @@ func AttackSweep(base config.Config, o Opts, ao AttackOpts) (*AttackResult, erro
 			Seed:           o.Seed,
 		}
 		if attack {
+			flushes := 64
+			if ao.AttackerModel == config.CoreOoO {
+				// An OoO attacker drains its fixed-length trace about
+				// width times faster than the in-order one; scale its
+				// per-step flush budget to match, or it finishes before
+				// the victim's measured phase and the overlap — the
+				// attack — never happens.
+				flushes *= cfg.EffectiveOoOWidth()
+			}
 			s.CoreWorkloads = [4]string{"hotbank"}
-			s.Attack = workload.AttackConfig{HotPages: 64, FlushesPerStep: 64}
+			s.Attack = workload.AttackConfig{HotPages: 64, FlushesPerStep: flushes}
+			// Core 0 is the attacker; the victim on core 1 keeps the
+			// in-order default.
+			s.CoreModels = [4]string{ao.AttackerModel}
 		} else {
 			// Victim-alone baseline: one core, one bank — the same
 			// single-bank layout the victim core has in the attack cell.

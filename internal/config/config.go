@@ -102,6 +102,30 @@ const (
 	XBank = scheme.XBank
 )
 
+// Core timing-model names. internal/core maps them to Model
+// implementations through its registry; config only validates the
+// spelling so a bad knob fails at Validate time, not mid-run.
+const (
+	// CoreInOrder is the blocking one-op-at-a-time core of the paper's
+	// evaluation (the default).
+	CoreInOrder = "inorder"
+	// CoreOoO is the out-of-order core: OoOWidth ops in flight, an
+	// MSHR file with same-line merge, and an optional stride prefetcher.
+	CoreOoO = "ooo"
+)
+
+// Defaults for the OoO core's knobs when left zero.
+const (
+	DefaultOoOWidth    = 4
+	DefaultMSHREntries = 8
+)
+
+// validCoreModel reports whether name is a known core-model name ("" is
+// the in-order default).
+func validCoreModel(name string) bool {
+	return name == "" || name == CoreInOrder || name == CoreOoO
+}
+
 // CacheConfig describes one set-associative cache.
 type CacheConfig struct {
 	// SizeBytes is the total capacity. Must be a multiple of
@@ -236,6 +260,32 @@ type Config struct {
 	// partition-independent workloads.
 	ParallelEngine bool
 
+	// CoreModel selects the per-core timing model ("" means
+	// CoreInOrder). internal/core resolves the name through its model
+	// registry, so experiments sweep the model as a grid axis the same
+	// way they sweep schemes.
+	CoreModel string
+	// CoreModels overrides CoreModel per core (cores 0..3; an empty
+	// entry falls back to CoreModel). The attack experiments use it to
+	// give attacker cores a different model than victim cores.
+	CoreModels [4]string
+
+	// OoOWidth is the out-of-order core's in-flight op window: how many
+	// memory ops may be outstanding before dispatch stalls. 0 means the
+	// default (DefaultOoOWidth). In-order cores ignore it.
+	OoOWidth int
+	// MSHREntries sizes the OoO core's MSHR file: the number of
+	// outstanding line misses; same-line demand misses merge into an
+	// existing entry instead of re-reading NVM. 0 means the default
+	// (DefaultMSHREntries). In-order cores ignore it.
+	MSHREntries int
+	// PrefetchDegree enables the OoO core's stride prefetcher when
+	// non-zero: after a stride repeats (confidence threshold, fixed at
+	// 2), each demand miss issues up to PrefetchDegree non-binding
+	// counter+data prefetches down the stride. 0 disables prefetching.
+	// In-order cores ignore it.
+	PrefetchDegree int
+
 	// Scheme selects the secure-NVM design under evaluation.
 	Scheme Scheme
 
@@ -289,6 +339,46 @@ func (c Config) CWC() bool {
 	return c.Scheme.CWC()
 }
 
+// ModelFor returns the effective core-model name for core i: the
+// per-core override when set, else CoreModel, else CoreInOrder.
+func (c Config) ModelFor(i int) string {
+	if i >= 0 && i < len(c.CoreModels) && c.CoreModels[i] != "" {
+		return c.CoreModels[i]
+	}
+	if c.CoreModel != "" {
+		return c.CoreModel
+	}
+	return CoreInOrder
+}
+
+// HasOoOCore reports whether any core runs the OoO model.
+func (c Config) HasOoOCore() bool {
+	for i := 0; i < c.Cores; i++ {
+		if c.ModelFor(i) == CoreOoO {
+			return true
+		}
+	}
+	return false
+}
+
+// EffectiveOoOWidth returns the OoO in-flight window with the default
+// applied.
+func (c Config) EffectiveOoOWidth() int {
+	if c.OoOWidth == 0 {
+		return DefaultOoOWidth
+	}
+	return c.OoOWidth
+}
+
+// EffectiveMSHREntries returns the MSHR file size with the default
+// applied.
+func (c Config) EffectiveMSHREntries() int {
+	if c.MSHREntries == 0 {
+		return DefaultMSHREntries
+	}
+	return c.MSHREntries
+}
+
 // WithScheme returns a copy of c with the scheme replaced.
 func (c Config) WithScheme(s Scheme) Config {
 	c.Scheme = s
@@ -339,6 +429,34 @@ func (c Config) Validate() error {
 	}
 	if c.RecoveryWorkBound < 0 {
 		return fmt.Errorf("config: recovery work bound must be >= 0 (0 means unbounded), got %d", c.RecoveryWorkBound)
+	}
+	if !validCoreModel(c.CoreModel) {
+		return fmt.Errorf("config: unknown core model %q (want %q or %q)", c.CoreModel, CoreInOrder, CoreOoO)
+	}
+	for i, name := range c.CoreModels {
+		if !validCoreModel(name) {
+			return fmt.Errorf("config: unknown core model %q for core %d (want %q or %q)", name, i, CoreInOrder, CoreOoO)
+		}
+	}
+	if c.OoOWidth < 0 {
+		return fmt.Errorf("config: OoO width must be >= 0 (0 means the default %d), got %d", DefaultOoOWidth, c.OoOWidth)
+	}
+	if c.MSHREntries < 0 {
+		return fmt.Errorf("config: MSHR entries must be >= 0 (0 means the default %d), got %d", DefaultMSHREntries, c.MSHREntries)
+	}
+	if c.PrefetchDegree < 0 {
+		return fmt.Errorf("config: prefetch degree must be >= 0 (0 disables), got %d", c.PrefetchDegree)
+	}
+	if !c.HasOoOCore() {
+		if c.OoOWidth > 0 {
+			return fmt.Errorf("config: OoO width %d set but no core uses the %q model", c.OoOWidth, CoreOoO)
+		}
+		if c.MSHREntries > 0 {
+			return fmt.Errorf("config: MSHR entries %d set but no core uses the %q model", c.MSHREntries, CoreOoO)
+		}
+		if c.PrefetchDegree > 0 {
+			return fmt.Errorf("config: prefetch degree %d set but no core uses the %q model", c.PrefetchDegree, CoreOoO)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,126 @@
+package core
+
+// This file is the scheduling plumbing shared by every core.Model: the
+// pre-allocated step event, the write-group walker, and the group
+// buffer. Keeping these in one place holds the zero-alloc line for all
+// models — a core's per-op control flow reuses the same event objects
+// and scratch buffers for the whole run.
+
+import (
+	"supermem/internal/memctrl"
+	"supermem/internal/obs"
+)
+
+// stepper is the model-side target of a stepEv: one dispatch action of
+// the core's timing model.
+type stepper interface {
+	step(now uint64)
+}
+
+// stepEv schedules one dispatch action of a core model (sim.EventObj).
+// In-order cores use one per core (the next-op step); OoO cores use one
+// for the dispatch loop and one per slot for op completions.
+type stepEv struct {
+	m stepper
+}
+
+// Fire implements sim.EventObj.
+func (e *stepEv) Fire(now uint64) { e.m.step(now) }
+
+// opDoner receives the completion of an op's write-group walk: the last
+// group was accepted into the ADR domain at cycle now. The in-order
+// model schedules its next step; the OoO model frees the op's slot.
+type opDoner interface {
+	opDone(now uint64)
+}
+
+// opJob walks one op's write groups through the controller
+// sequentially: it is both the event that starts the enqueues after the
+// op's latency (sim.EventObj) and the continuation invoked as each
+// group is accepted (memctrl.Acceptor).
+type opJob struct {
+	s      *System
+	c      *coreState
+	done   opDoner
+	at     uint64 // dispatch time of the current group
+	i      int
+	groups [][]memctrl.Entry
+}
+
+// Fire implements sim.EventObj.
+func (j *opJob) Fire(now uint64) {
+	j.at = now
+	j.dispatch()
+}
+
+func (j *opJob) dispatch() {
+	if j.i == len(j.groups) {
+		j.done.opDone(j.at)
+		return
+	}
+	if err := j.c.mc.EnqueueTo(j.at, j.groups[j.i], j); err != nil {
+		// The persist paths only build 1- or 2-entry groups, so this is
+		// an internal invariant break; stop the core and surface the
+		// error from Run.
+		j.s.runErr = err
+		j.c.done = true
+	}
+}
+
+// Accepted implements memctrl.Acceptor: the current group entered the
+// ADR domain; charge the stall and move to the next group.
+func (j *opJob) Accepted(now uint64) {
+	j.c.m.WQStallCycles += now - j.at
+	j.s.rec.Observe(obs.HistWQStall, now-j.at)
+	j.at = now
+	j.i++
+	j.dispatch()
+}
+
+// groupBuilder accumulates one op's write groups in two reusable
+// buffers: a flat entry array and the group slices pointing into it.
+// Entries are immutable once added and the buffers are reset only when
+// their owner starts its next op — after every group of the previous op
+// has been accepted (copied into the write queue) — so the controller
+// never observes a recycled buffer. The in-order model owns one per
+// core; the OoO model owns one per in-flight slot.
+type groupBuilder struct {
+	entries []memctrl.Entry
+	groups  [][]memctrl.Entry
+}
+
+func (g *groupBuilder) reset() {
+	g.entries = g.entries[:0]
+	g.groups = g.groups[:0]
+}
+
+// add1 appends a single-entry group (a bare data or counter write).
+func (g *groupBuilder) add1(e memctrl.Entry) {
+	n := len(g.entries)
+	g.entries = append(g.entries, e)
+	g.groups = append(g.groups, g.entries[n:n+1:n+1])
+}
+
+// add2 appends an atomic data+counter pair (the register of Figure 7).
+func (g *groupBuilder) add2(a, b memctrl.Entry) {
+	n := len(g.entries)
+	g.entries = append(g.entries, a, b)
+	g.groups = append(g.groups, g.entries[n:n+2:n+2])
+}
+
+// memReader is the model's hook on the demand-fill read path: readPath
+// and counterForRead route their NVM line reads through it, so the OoO
+// model can interpose its MSHR file (same-line merge, occupancy
+// accounting) while the in-order model reads the controller directly.
+// The persist paths keep talking to the controller — persist-side
+// counter fetches happen inside the ADR domain, not the load pipeline.
+type memReader interface {
+	readLine(t, line uint64) (done uint64)
+}
+
+// directReader is the in-order model's pass-through memReader.
+type directReader struct {
+	mc *memctrl.Controller
+}
+
+func (d directReader) readLine(t, line uint64) uint64 { return d.mc.ReadLine(t, line) }

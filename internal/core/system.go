@@ -114,95 +114,18 @@ type coreState struct {
 	mc       *memctrl.Controller
 	ctrCache *cache.Cache
 
-	// Pre-allocated event objects and write-group scratch. A core
-	// executes one op at a time (the next step is scheduled only after
-	// every write group of the current op is accepted), so one step
-	// event, one op job, and one group buffer per core make the whole
-	// per-op control flow allocation-free.
-	step stepEv
-	job  opJob
-	gb   groupBuilder
-}
-
-// stepEv schedules a core's next trace op (sim.EventObj).
-type stepEv struct {
-	s *System
-	c *coreState
-}
-
-// Fire implements sim.EventObj.
-func (e *stepEv) Fire(now uint64) { e.s.step(e.c, now) }
-
-// opJob walks one op's write groups through the controller
-// sequentially: it is both the event that starts the enqueues after the
-// op's latency (sim.EventObj) and the continuation invoked as each
-// group is accepted (memctrl.Acceptor).
-type opJob struct {
-	s      *System
-	c      *coreState
-	at     uint64 // dispatch time of the current group
-	i      int
-	groups [][]memctrl.Entry
-}
-
-// Fire implements sim.EventObj.
-func (j *opJob) Fire(now uint64) {
-	j.at = now
-	j.dispatch()
-}
-
-func (j *opJob) dispatch() {
-	if j.i == len(j.groups) {
-		j.s.eng.AtObj(j.at, &j.c.step)
-		return
-	}
-	if err := j.c.mc.EnqueueTo(j.at, j.groups[j.i], j); err != nil {
-		// The persist paths only build 1- or 2-entry groups, so this is
-		// an internal invariant break; stop the core and surface the
-		// error from Run.
-		j.s.runErr = err
-		j.c.done = true
-	}
-}
-
-// Accepted implements memctrl.Acceptor: the current group entered the
-// ADR domain; charge the stall and move to the next group.
-func (j *opJob) Accepted(now uint64) {
-	j.c.m.WQStallCycles += now - j.at
-	j.s.rec.Observe(obs.HistWQStall, now-j.at)
-	j.at = now
-	j.i++
-	j.dispatch()
-}
-
-// groupBuilder accumulates one op's write groups in two reusable
-// per-core buffers: a flat entry array and the group slices pointing
-// into it. Entries are immutable once added and the buffers are reset
-// only when the core starts its next op — after every group of the
-// previous op has been accepted (copied into the write queue) — so the
-// controller never observes a recycled buffer.
-type groupBuilder struct {
-	entries []memctrl.Entry
-	groups  [][]memctrl.Entry
-}
-
-func (g *groupBuilder) reset() {
-	g.entries = g.entries[:0]
-	g.groups = g.groups[:0]
-}
-
-// add1 appends a single-entry group (a bare data or counter write).
-func (g *groupBuilder) add1(e memctrl.Entry) {
-	n := len(g.entries)
-	g.entries = append(g.entries, e)
-	g.groups = append(g.groups, g.entries[n:n+1:n+1])
-}
-
-// add2 appends an atomic data+counter pair (the register of Figure 7).
-func (g *groupBuilder) add2(a, b memctrl.Entry) {
-	n := len(g.entries)
-	g.entries = append(g.entries, a, b)
-	g.groups = append(g.groups, g.entries[n:n+2:n+2])
+	// model is this core's timing model; gb and mem are the model's
+	// hooks into the shared execution paths: gb points at the group
+	// buffer of the op currently being dispatched (the in-order model
+	// has one, the OoO model one per in-flight slot), and mem is the
+	// demand-fill read path (direct controller reads for in-order, the
+	// MSHR file for OoO).
+	model Model
+	gb    *groupBuilder
+	mem   memReader
+	// pf, when non-nil, is the OoO model's stride prefetcher; the MSHR
+	// file trains it with demand data misses.
+	pf *prefetcher
 }
 
 // NewSystem builds a system from the configuration.
@@ -288,8 +211,11 @@ func NewSystem(cfg config.Config) (*System, error) {
 			mc:       s.mcs[i%len(s.mcs)],
 			ctrCache: s.ctrCaches[i%len(s.ctrCaches)],
 		}
-		c.step = stepEv{s: s, c: c}
-		c.job = opJob{s: s, c: c}
+		m, err := newModel(s, c, cfg.ModelFor(i))
+		if err != nil {
+			return nil, err
+		}
+		c.model = m
 		s.cores = append(s.cores, c)
 	}
 	return s, nil
@@ -370,7 +296,7 @@ func (s *System) Run(sources []trace.Source) (stats.Metrics, error) {
 	}
 	for i, c := range s.cores {
 		c.src = sources[i]
-		s.eng.AtObj(0, &c.step)
+		c.model.start()
 	}
 	s.eng.Run()
 	// Flush the write queues' lazy tails so every accepted write reaches
@@ -446,77 +372,34 @@ func (s *System) ctrStats() cache.Stats {
 	return t
 }
 
-// step executes the core's next operation.
-func (s *System) step(c *coreState, now uint64) {
-	op, ok := c.src.Next()
-	if !ok {
-		c.done = true
+// noteTxEnd records a completed transaction's latency for core c (the
+// models call it from their trace.TxEnd handling).
+func (s *System) noteTxEnd(c *coreState, now uint64) {
+	if !c.inTx {
 		return
 	}
-	switch op.Kind {
-	case trace.Compute:
-		s.eng.AtObj(now+op.Arg, &c.step)
-	case trace.Fence:
-		// Flushes block until accepted into the ADR write queue, so
-		// ordering is already enforced; the fence itself costs a cycle.
-		s.eng.AtObj(now+1, &c.step)
-	case trace.TxBegin:
-		c.inTx = true
-		c.txStart = now
-		s.eng.AtObj(now, &c.step)
-	case trace.TxEnd:
-		if c.inTx {
-			c.m.Transactions++
-			c.m.TxCycles += now - c.txStart
-			s.rec.Observe(obs.HistTxLatency, now-c.txStart)
-			s.rec.CoreObserve(c.id, now-c.txStart)
-			c.inTx = false
-		}
-		s.eng.AtObj(now, &c.step)
-	case trace.Reset:
-		c.m.WQStallCycles = 0
-		c.m.ReadStallCycles = 0
-		s.resetsSeen++
-		if s.resetsSeen == len(s.cores) {
-			s.snapshot = s.m
-			s.ctrSnapshot = s.ctrStats()
-			s.snapshotAt = now
-			s.haveSnapshot = true
-			// Histograms report measured transactions only, mirroring
-			// the metric snapshot subtraction; series and trace events
-			// keep the full timeline.
-			s.rec.ResetHists()
-		}
-		s.eng.AtObj(now, &c.step)
-	case trace.Read:
-		c.gb.reset()
-		lat := s.readPath(c, now, nvm.LineAddr(op.Addr), false)
-		s.finishOp(c, now, lat)
-	case trace.Write:
-		c.gb.reset()
-		lat := s.writeHit(c, now, nvm.LineAddr(op.Addr))
-		s.finishOp(c, now, lat)
-	case trace.Flush:
-		c.gb.reset()
-		lat := s.flushPath(c, now, nvm.LineAddr(op.Addr))
-		s.finishOp(c, now, lat)
-	default:
-		panic(fmt.Sprintf("core: unknown op kind %v", op.Kind))
-	}
+	c.m.Transactions++
+	c.m.TxCycles += now - c.txStart
+	s.rec.Observe(obs.HistTxLatency, now-c.txStart)
+	s.rec.CoreObserve(c.id, now-c.txStart)
+	c.inTx = false
 }
 
-// finishOp charges the op's latency, then performs the write-queue
-// enqueues accumulated in the core's group buffer sequentially (each
-// may stall on a full queue), and finally schedules the next op.
-func (s *System) finishOp(c *coreState, now, lat uint64) {
-	t := now + lat
-	if len(c.gb.groups) == 0 {
-		s.eng.AtObj(t, &c.step)
-		return
+// noteReset records one core's trace.Reset; when every core has reset,
+// the global counters are snapshotted for warmup subtraction. The
+// model zeroes its own per-core stall counters before calling this.
+func (s *System) noteReset(now uint64) {
+	s.resetsSeen++
+	if s.resetsSeen == len(s.cores) {
+		s.snapshot = s.m
+		s.ctrSnapshot = s.ctrStats()
+		s.snapshotAt = now
+		s.haveSnapshot = true
+		// Histograms report measured transactions only, mirroring
+		// the metric snapshot subtraction; series and trace events
+		// keep the full timeline.
+		s.rec.ResetHists()
 	}
-	c.job.i = 0
-	c.job.groups = c.gb.groups
-	s.eng.AtObj(t, &c.job)
 }
 
 // readPath performs a load of the line at addr, returning the
@@ -539,9 +422,11 @@ func (s *System) readPath(c *coreState, now, line uint64, fillDirty bool) (lat u
 		return lat
 	}
 	// Memory read: the data read and the OTP generation proceed in
-	// parallel (Figure 2b); the load completes when both are done.
+	// parallel (Figure 2b); the load completes when both are done. The
+	// read goes through the model's memReader — a direct controller
+	// read for in-order cores, the MSHR file for OoO cores.
 	reqAt := now + lat
-	dataDone := c.mc.ReadLine(reqAt, line)
+	dataDone := c.mem.readLine(reqAt, line)
 	readyAt := dataDone
 	if s.cfg.Scheme.Encrypted() {
 		ctrReady := s.counterForRead(c, reqAt, line)
@@ -764,7 +649,7 @@ func (s *System) counterForRead(c *coreState, t, line uint64) (readyAt uint64) {
 	if c.ctrCache.Access(ctrAddr, false) {
 		return t + s.cfg.CounterCache.LatencyCycles
 	}
-	done := c.mc.ReadLine(t, ctrAddr)
+	done := c.mem.readLine(t, ctrAddr)
 	s.fillCtr(c, ctrAddr, false)
 	return done
 }

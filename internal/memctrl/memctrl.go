@@ -510,12 +510,25 @@ func (c *Controller) retire(now uint64, q *queued) {
 			break
 		}
 	}
-	// Admit stalled flushes in arrival order while they fit.
-	for len(c.waiters) > 0 && c.fits(c.waiters[0].entries) {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
+	// Admit stalled flushes in arrival order while they fit. Consume by
+	// index and compact afterwards instead of reslicing the front away:
+	// walking the slice forward strands its capacity, which made every
+	// enqueue→drain cycle reallocate the waiter array (an Accepted
+	// callback can append the op's next group reentrantly, so the length
+	// may grow mid-loop).
+	n := 0
+	for n < len(c.waiters) && c.fits(c.waiters[n].entries) {
+		w := c.waiters[n]
+		n++
 		c.admit(now, w.entries)
 		w.accept.Accepted(now)
+	}
+	if n > 0 {
+		rest := copy(c.waiters, c.waiters[n:])
+		for i := rest; i < len(c.waiters); i++ {
+			c.waiters[i] = waiter{} // drop refs so admitted groups can be GC'd
+		}
+		c.waiters = c.waiters[:rest]
 	}
 	c.tryIssue(now)
 }

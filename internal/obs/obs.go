@@ -77,6 +77,16 @@ const (
 	// SeriesRecoveryBounded counts recovery passes that hit the
 	// recovery-work bound and degraded to staged recovery per window.
 	SeriesRecoveryBounded
+	// SeriesMSHROccupancy is the number of outstanding MSHR entries on
+	// an OoO core when a miss allocates one (gauge).
+	SeriesMSHROccupancy
+	// SeriesPrefetchIssued counts stride prefetches issued per window;
+	// SeriesPrefetchUseful counts prefetched lines a later demand access
+	// hit; SeriesPrefetchDropped counts candidates discarded for
+	// write-queue pressure or a full MSHR file.
+	SeriesPrefetchIssued
+	SeriesPrefetchUseful
+	SeriesPrefetchDropped
 
 	numSeries
 )
@@ -118,6 +128,7 @@ func NewRecorder(o Options) *Recorder {
 	for i := range r.series[1:] {
 		r.series[i+1].kind = kindCount
 	}
+	r.series[SeriesMSHROccupancy].kind = kindGauge
 	if o.Trace {
 		r.trace = newTraceBuffer(o.MaxTraceEvents)
 	}
@@ -384,6 +395,9 @@ func (r *Recorder) counterTracks() []counterTrack {
 		{name: "throttle stalls/window", values: r.series[SeriesThrottleStalls].values(r.window, end)},
 		{name: "wear remaps/window", values: r.series[SeriesWearRemaps].values(r.window, end)},
 		{name: "recovery work bounded/window", values: r.series[SeriesRecoveryBounded].values(r.window, end)},
+		{name: "mshr occupancy", values: r.series[SeriesMSHROccupancy].values(r.window, end), dense: true},
+		{name: "prefetch accuracy", values: rate(r.series[SeriesPrefetchUseful].values(r.window, end), sub(r.series[SeriesPrefetchIssued].values(r.window, end), r.series[SeriesPrefetchUseful].values(r.window, end)))},
+		{name: "prefetch dropped/window", values: r.series[SeriesPrefetchDropped].values(r.window, end)},
 	}
 	for b := range r.banks {
 		tracks = append(tracks, counterTrack{
@@ -411,6 +425,27 @@ func (r *Recorder) BankBusyFractions(bank int) []float64 {
 }
 
 // rate returns a[i]/(a[i]+b[i]) per window, skipping empty windows.
+// sub returns the elementwise difference a-b, padding the shorter
+// input with zeros (windowed series may end at different cycles).
+func sub(a, b []float64) []float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var av, bv float64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		out[i] = av - bv
+	}
+	return out
+}
+
 func rate(a, b []float64) []float64 {
 	n := len(a)
 	if len(b) > n {

@@ -81,6 +81,25 @@ type Metrics struct {
 	// the rotation moved off their home bank.
 	WearRotations      uint64
 	WearRemappedWrites uint64
+
+	// MSHRMerges counts demand misses absorbed by an already-outstanding
+	// MSHR entry for the same line (OoO cores only): each one is an NVM
+	// read that never happened. Store misses that merge are the
+	// write-combining miss path.
+	MSHRMerges uint64
+	// MSHRFullStalls counts misses that found the MSHR file full;
+	// MSHRStallCycles is the time those misses waited for a free entry.
+	MSHRFullStalls  uint64
+	MSHRStallCycles uint64
+
+	// PrefetchIssued counts non-binding stride prefetches sent to the
+	// memory controller; PrefetchUseful counts prefetched lines a demand
+	// access later hit (in the cache fill or by merging with the
+	// in-flight MSHR entry); PrefetchDropped counts prefetch candidates
+	// discarded for write-queue pressure or a full MSHR file.
+	PrefetchIssued  uint64
+	PrefetchUseful  uint64
+	PrefetchDropped uint64
 }
 
 // TotalNVMWrites is the headline write count of Figure 15.
@@ -130,6 +149,12 @@ func (m *Metrics) Add(other Metrics) {
 	m.ThrottleStallCycles += other.ThrottleStallCycles
 	m.WearRotations += other.WearRotations
 	m.WearRemappedWrites += other.WearRemappedWrites
+	m.MSHRMerges += other.MSHRMerges
+	m.MSHRFullStalls += other.MSHRFullStalls
+	m.MSHRStallCycles += other.MSHRStallCycles
+	m.PrefetchIssued += other.PrefetchIssued
+	m.PrefetchUseful += other.PrefetchUseful
+	m.PrefetchDropped += other.PrefetchDropped
 }
 
 // Table is a printable result table: one row per configuration point and

@@ -97,6 +97,17 @@ const (
 	XBank = config.XBank
 )
 
+// Core timing models (Config.CoreModel / Config.CoreModels).
+const (
+	// CoreInOrder is the blocking one-memory-op-at-a-time core model
+	// (the default; the paper's evaluation setup).
+	CoreInOrder = config.CoreInOrder
+	// CoreOoO is the out-of-order core model: a configurable-width
+	// issue window over an MSHR file, with an optional stride
+	// prefetcher. Timing-only — the executed op streams are unchanged.
+	CoreOoO = config.CoreOoO
+)
+
 // DefaultConfig returns the paper's Table 2 configuration.
 func DefaultConfig() Config { return config.Default() }
 
@@ -389,6 +400,29 @@ type (
 // and per-recovery work, and is byte-identical at any Parallel setting.
 func AttackSweep(cfg Config, o ExperimentOpts, ao AttackOpts) (*AttackResult, error) {
 	return bench.AttackSweep(cfg, o.internal(), ao)
+}
+
+type (
+	// MLPOpts sizes the memory-level-parallelism experiment grid
+	// (schemes, OoO widths, MSHR sizes, prefetch degrees).
+	MLPOpts = bench.MLPOpts
+	// MLPResult is the MLP experiment's deterministic artifact payload
+	// (the BENCH_mlp.json body).
+	MLPResult = bench.MLPResult
+	// MLPCell is one (core variant, scheme) grid point with latency
+	// quantiles, write amplification, and MSHR/prefetcher counters.
+	MLPCell = bench.MLPCell
+)
+
+// MLP runs the memory-level-parallelism experiment: core variants
+// (in-order baseline, an OoO issue-width sweep, and MSHR/prefetch
+// sweeps at the widest width) crossed with schemes, with Unsec run per
+// variant as the write-amplification baseline. The whole grid replays
+// one cached recording — the core model is timing-only — and the
+// result is byte-identical at any Parallel setting and under the
+// partitioned engine.
+func MLP(cfg Config, o ExperimentOpts, mo MLPOpts) (*MLPResult, error) {
+	return bench.MLP(cfg, o.internal(), mo)
 }
 
 // CrashMode selects the persistence design of the byte-accurate crash
